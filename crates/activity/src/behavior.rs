@@ -1,0 +1,430 @@
+//! Per-class behaviour parameterization.
+//!
+//! Each application class draws its originators' parameters — address
+//! placement, daily footprint, contact kinds, targeting, diurnality,
+//! lifetime — from class-specific distributions. The constants encode
+//! the paper's qualitative observations: scanners walk the whole space
+//! from hosting and residential blocks, spam hammers mail servers with
+//! repeats, CDN and ad traffic is regional, diurnal, and eyeball-bound,
+//! and malicious populations live an order of magnitude shorter than
+//! benign ones (§V-A: benign decays ~10 %/month, malicious ~50 %/month).
+
+use crate::class::ApplicationClass;
+use crate::pools::PoolKind;
+use crate::profile::{DiurnalPattern, OriginatorProfile, Targeting};
+use bs_dns::SimTime;
+use bs_netsim::det::{bounded, bounded_pareto, hash2, hash3, log_normal, mix64, unit_f64, weighted_pick};
+use bs_netsim::types::{ContactKind, CountryCode};
+use bs_netsim::world::{BlockProfile, World};
+use std::net::Ipv4Addr;
+
+/// Footprint distribution: bounded Pareto over distinct targets/day.
+struct Footprint {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+/// Static behaviour table for one class.
+struct ClassSpec {
+    footprint: Footprint,
+    /// Mean contacts per chosen target (min, max across originators).
+    repeat: (f64, f64),
+    /// Diurnal amplitude range (min, max).
+    diurnal: (f64, f64),
+    /// Probability an originator concentrates on one country, and the
+    /// share of traffic sent there when it does.
+    focus: (f64, f64),
+    /// Median lifetime in days and log-σ of the log-normal.
+    lifetime: (f64, f64),
+    /// Block profiles the originator's own address prefers, with weights.
+    placement: &'static [(BlockProfile, f64)],
+}
+
+fn spec(class: ApplicationClass) -> ClassSpec {
+    use ApplicationClass::*;
+    use BlockProfile::*;
+    match class {
+        AdTracker => ClassSpec {
+            footprint: Footprint { lo: 3_000.0, hi: 60_000.0, alpha: 1.2 },
+            repeat: (1.2, 2.0),
+            diurnal: (0.6, 0.9),
+            focus: (0.5, 0.6),
+            lifetime: (350.0, 0.7),
+            placement: &[(Hosting, 0.7), (CloudDc, 0.3)],
+        },
+        Cdn => ClassSpec {
+            footprint: Footprint { lo: 2_000.0, hi: 40_000.0, alpha: 1.1 },
+            repeat: (2.0, 4.0),
+            diurnal: (0.5, 0.9),
+            focus: (0.8, 0.85),
+            lifetime: (250.0, 0.8),
+            placement: &[(CdnPop, 1.0)],
+        },
+        Cloud => ClassSpec {
+            footprint: Footprint { lo: 1_000.0, hi: 20_000.0, alpha: 1.2 },
+            repeat: (1.5, 3.0),
+            diurnal: (0.3, 0.7),
+            focus: (0.4, 0.6),
+            lifetime: (400.0, 0.7),
+            placement: &[(CloudDc, 1.0)],
+        },
+        Crawler => ClassSpec {
+            footprint: Footprint { lo: 500.0, hi: 15_000.0, alpha: 1.2 },
+            repeat: (1.2, 2.0),
+            diurnal: (0.1, 0.3),
+            focus: (0.2, 0.5),
+            lifetime: (350.0, 0.7),
+            placement: &[(Hosting, 0.5), (CloudDc, 0.5)],
+        },
+        Dns => ClassSpec {
+            footprint: Footprint { lo: 300.0, hi: 8_000.0, alpha: 1.2 },
+            repeat: (1.5, 3.0),
+            diurnal: (0.2, 0.5),
+            focus: (0.4, 0.7),
+            lifetime: (500.0, 0.6),
+            placement: &[(IspInfra, 0.7), (Hosting, 0.3)],
+        },
+        Mail => ClassSpec {
+            footprint: Footprint { lo: 300.0, hi: 10_000.0, alpha: 1.25 },
+            repeat: (1.1, 1.6),
+            diurnal: (0.7, 0.95),
+            focus: (0.7, 0.8),
+            lifetime: (400.0, 0.7),
+            placement: &[(IspInfra, 0.4), (Enterprise, 0.35), (Hosting, 0.25)],
+        },
+        Ntp => ClassSpec {
+            footprint: Footprint { lo: 200.0, hi: 5_000.0, alpha: 1.2 },
+            repeat: (1.5, 3.0),
+            diurnal: (0.1, 0.4),
+            focus: (0.3, 0.6),
+            lifetime: (500.0, 0.6),
+            placement: &[(Academic, 0.5), (IspInfra, 0.5)],
+        },
+        P2p => ClassSpec {
+            footprint: Footprint { lo: 300.0, hi: 6_000.0, alpha: 1.15 },
+            repeat: (1.1, 1.6),
+            diurnal: (0.3, 0.6),
+            focus: (0.3, 0.5),
+            lifetime: (120.0, 0.9),
+            placement: &[(Residential, 1.0)],
+        },
+        Push => ClassSpec {
+            footprint: Footprint { lo: 500.0, hi: 15_000.0, alpha: 1.2 },
+            repeat: (1.5, 3.0),
+            diurnal: (0.3, 0.6),
+            focus: (0.3, 0.5),
+            lifetime: (400.0, 0.7),
+            placement: &[(CloudDc, 0.6), (Hosting, 0.4)],
+        },
+        Scan => ClassSpec {
+            footprint: Footprint { lo: 3_000.0, hi: 200_000.0, alpha: 0.95 },
+            repeat: (1.0, 1.1),
+            diurnal: (0.0, 0.2),
+            focus: (0.05, 0.5),
+            // Mixture handled in lifetime_days: a short-lived majority
+            // plus a long-lived core.
+            lifetime: (20.0, 0.8),
+            placement: &[(Hosting, 0.6), (Residential, 0.3), (Academic, 0.1)],
+        },
+        Spam => ClassSpec {
+            footprint: Footprint { lo: 500.0, hi: 30_000.0, alpha: 1.05 },
+            repeat: (2.0, 4.0),
+            diurnal: (0.0, 0.3),
+            focus: (0.3, 0.5),
+            lifetime: (25.0, 0.7),
+            placement: &[(Residential, 0.55), (Hosting, 0.35), (Enterprise, 0.10)],
+        },
+        Update => ClassSpec {
+            footprint: Footprint { lo: 1_000.0, hi: 20_000.0, alpha: 1.2 },
+            repeat: (1.2, 2.0),
+            diurnal: (0.4, 0.7),
+            focus: (0.8, 0.9),
+            lifetime: (500.0, 0.6),
+            placement: &[(Hosting, 0.5), (Enterprise, 0.5)],
+        },
+    }
+}
+
+/// Scanner port mix: which single protocol a scanner probes, matching
+/// the paper's observations (ssh dominates; HTTP/HTTPS, telnet, ICMP,
+/// DNS, NTP follow; some scanners sweep several ports).
+fn scan_kinds(h: u64) -> Vec<ContactKind> {
+    const CHOICES: [(&[ContactKind], f64); 8] = [
+        (&[ContactKind::ProbeTcp(22)], 0.30),
+        (&[ContactKind::ProbeTcp(80)], 0.15),
+        (&[ContactKind::ProbeTcp(443)], 0.10),
+        (&[ContactKind::ProbeTcp(23)], 0.10),
+        (&[ContactKind::ProbeIcmp], 0.15),
+        (&[ContactKind::ProbeUdp(53)], 0.05),
+        (&[ContactKind::ProbeUdp(123)], 0.05),
+        (
+            &[ContactKind::ProbeTcp(22), ContactKind::ProbeTcp(80), ContactKind::ProbeTcp(443)],
+            0.10,
+        ),
+    ];
+    let weights: Vec<f64> = CHOICES.iter().map(|c| c.1).collect();
+    CHOICES[weighted_pick(h, &weights)].0.to_vec()
+}
+
+/// Contact kinds for each class.
+fn kinds_for(class: ApplicationClass, h: u64) -> Vec<ContactKind> {
+    use ApplicationClass::*;
+    match class {
+        AdTracker => vec![ContactKind::WebBug],
+        Cdn => vec![ContactKind::CdnDelivery],
+        Cloud => vec![ContactKind::CloudApp],
+        Crawler => vec![ContactKind::HttpFetch],
+        Dns => vec![ContactKind::DnsService],
+        Mail => vec![ContactKind::Smtp],
+        Spam => vec![ContactKind::SmtpSpam],
+        Ntp => vec![ContactKind::NtpService],
+        // Mis-behaving P2P clients also spray random high ports
+        // (paper §IV-C observes p2p traffic hitting darknets).
+        P2p => vec![
+            ContactKind::P2p,
+            ContactKind::P2p,
+            ContactKind::ProbeTcp(10_000 + (h % 50_000) as u16),
+        ],
+        Push => vec![ContactKind::PushKeepalive],
+        Scan => scan_kinds(h),
+        Update => vec![ContactKind::UpdatePoll],
+    }
+}
+
+/// Target pool for each class ([`Targeting::UniformRandom`] for scan).
+fn pool_for(class: ApplicationClass) -> Option<PoolKind> {
+    use ApplicationClass::*;
+    match class {
+        Scan => None,
+        Mail | Spam => Some(PoolKind::MailServers),
+        Crawler => Some(PoolKind::WebServers),
+        Dns => Some(PoolKind::NameServers),
+        Ntp => Some(PoolKind::AnyLive),
+        Cloud => Some(PoolKind::AnyLive),
+        AdTracker | Cdn | P2p | Push | Update => Some(PoolKind::Eyeballs),
+    }
+}
+
+/// Lifetime of one incarnation in days. Scanners are a mixture: a
+/// short-lived majority plus a persistent core ("a core of slower
+/// scanners are always present", §VI-C).
+pub fn lifetime_days(class: ApplicationClass, h: u64) -> f64 {
+    let s = spec(class);
+    if class == ApplicationClass::Scan && unit_f64(mix64(h ^ 0xC0DE)) < 0.35 {
+        return log_normal(h, (400.0f64).ln(), 0.6).clamp(30.0, 2_000.0);
+    }
+    log_normal(h, s.lifetime.0.ln(), s.lifetime.1).clamp(2.0, 3_000.0)
+}
+
+/// Choose an originator address for a class, optionally inside one
+/// country, optionally pinned to a specific /24 (scanner teams).
+pub fn originator_addr(
+    world: &World,
+    class: ApplicationClass,
+    h: u64,
+    region: Option<CountryCode>,
+    team_block: Option<Ipv4Addr>,
+) -> Ipv4Addr {
+    if let Some(block) = team_block {
+        // A distinct host inside the team's /24, avoiding .0 and .255.
+        let low = 1 + (mix64(h ^ 0x7EA4) % 254) as u32;
+        return Ipv4Addr::from((u32::from(block) & 0xFFFF_FF00) | low);
+    }
+    let s = spec(class);
+    let profiles: Vec<BlockProfile> = s.placement.iter().map(|p| p.0).collect();
+    let weights: Vec<f64> = s.placement.iter().map(|p| p.1).collect();
+    let want = profiles[weighted_pick(mix64(h ^ 0x9A5), &weights)];
+    let slash8s = region.map(|cc| world.slash8s_of(cc));
+    let mut cand = world.random_public_addr(h);
+    for i in 0..600u64 {
+        let hh = hash2(h, i, 0xADD4);
+        cand = match &slash8s {
+            Some(list) if !list.is_empty() => {
+                let a = list[bounded(hh, list.len() as u64) as usize];
+                Ipv4Addr::from(((a as u32) << 24) | (mix64(hh) & 0x00FF_FFFF) as u32)
+            }
+            _ => world.random_public_addr(hh),
+        };
+        if world.block_profile(cand) == want {
+            return cand;
+        }
+    }
+    cand
+}
+
+/// Build one originator's full profile.
+#[allow(clippy::too_many_arguments)]
+pub fn make_profile(
+    world: &World,
+    scenario_seed: u64,
+    class: ApplicationClass,
+    slot: u64,
+    incarnation: u64,
+    active_from: SimTime,
+    active_until: SimTime,
+    rate_scale: f64,
+    region: Option<CountryCode>,
+    team_block: Option<Ipv4Addr>,
+) -> OriginatorProfile {
+    let s = spec(class);
+    let h = hash3(scenario_seed ^ 0x0816_0001, class.index() as u64, slot, incarnation);
+    let originator = originator_addr(world, class, h, region, team_block);
+    let targets_per_day =
+        bounded_pareto(mix64(h ^ 0xF007), s.footprint.alpha, s.footprint.lo, s.footprint.hi)
+            * rate_scale;
+    let u_rep = unit_f64(mix64(h ^ 0x4E9));
+    let repeat_mean = s.repeat.0 + (s.repeat.1 - s.repeat.0) * u_rep;
+    let u_amp = unit_f64(mix64(h ^ 0xD1));
+    let amplitude = s.diurnal.0 + (s.diurnal.1 - s.diurnal.0) * u_amp;
+    // Peak hour follows the originator's country (a proxy for local
+    // business hours), with jitter.
+    let cc_hash = world
+        .country_of(originator)
+        .map(|c| hash2(1, c.0[0] as u64, c.0[1] as u64))
+        .unwrap_or(0);
+    let peak_hour = (bounded(cc_hash, 24) as f64 + unit_f64(mix64(h ^ 0x11)) * 4.0) % 24.0;
+    // Regional focus: prefer the originator's own country.
+    let focus = if unit_f64(mix64(h ^ 0x22)) < s.focus.0 {
+        world.country_of(originator).map(|cc| (cc, s.focus.1))
+    } else {
+        None
+    };
+    let targeting = match pool_for(class) {
+        None => Targeting::UniformRandom,
+        Some(kind) => Targeting::Pool { kind, focus },
+    };
+    OriginatorProfile {
+        originator,
+        class,
+        targets_per_day,
+        repeat_mean,
+        kinds: kinds_for(class, mix64(h ^ 0x33)),
+        targeting,
+        diurnal: DiurnalPattern { amplitude, peak_hour },
+        active_from,
+        active_until,
+        seed: mix64(h ^ 0x44),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_netsim::world::WorldConfig;
+
+    fn world() -> World {
+        World::new(WorldConfig::default())
+    }
+
+    #[test]
+    fn placement_respects_class_preferences() {
+        let w = world();
+        let mut cdn_ok = 0;
+        for i in 0..50u64 {
+            let a = originator_addr(&w, ApplicationClass::Cdn, mix64(i), None, None);
+            if w.block_profile(a) == BlockProfile::CdnPop {
+                cdn_ok += 1;
+            }
+        }
+        assert!(cdn_ok >= 45, "cdn placement {cdn_ok}/50");
+    }
+
+    #[test]
+    fn regional_placement_stays_in_country() {
+        let w = world();
+        let jp = CountryCode::new("jp").unwrap();
+        for i in 0..30u64 {
+            let a = originator_addr(&w, ApplicationClass::Spam, mix64(i), Some(jp), None);
+            assert_eq!(w.country_of(a), Some(jp), "{a}");
+        }
+    }
+
+    #[test]
+    fn team_block_pins_slash24() {
+        let w = world();
+        let block: Ipv4Addr = "198.51.100.0".parse().unwrap();
+        for i in 0..20u64 {
+            let a = originator_addr(&w, ApplicationClass::Scan, mix64(i), None, Some(block));
+            assert_eq!(u32::from(a) & 0xFFFF_FF00, u32::from(block));
+            let low = u32::from(a) & 0xFF;
+            assert!((1..=254).contains(&low));
+        }
+    }
+
+    #[test]
+    fn malicious_lifetimes_are_much_shorter() {
+        let med = |class: ApplicationClass| {
+            let mut v: Vec<f64> = (0..400u64).map(|i| lifetime_days(class, mix64(i))).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let spam = med(ApplicationClass::Spam);
+        let mail = med(ApplicationClass::Mail);
+        let cloud = med(ApplicationClass::Cloud);
+        assert!(spam < 60.0, "spam median {spam}");
+        assert!(mail > 200.0, "mail median {mail}");
+        assert!(cloud > 250.0, "cloud median {cloud}");
+        assert!(mail / spam > 5.0, "ratio {}", mail / spam);
+    }
+
+    #[test]
+    fn scanner_core_is_long_lived() {
+        let lifetimes: Vec<f64> = (0..600u64)
+            .map(|i| lifetime_days(ApplicationClass::Scan, mix64(i)))
+            .collect();
+        let long = lifetimes.iter().filter(|l| **l > 100.0).count();
+        let frac = long as f64 / lifetimes.len() as f64;
+        assert!((0.2..0.55).contains(&frac), "long-lived scanner fraction {frac}");
+    }
+
+    #[test]
+    fn profiles_are_deterministic_and_sane() {
+        let w = world();
+        let mk = || {
+            make_profile(
+                &w,
+                7,
+                ApplicationClass::Spam,
+                3,
+                0,
+                SimTime::ZERO,
+                SimTime::from_days(10),
+                1.0,
+                None,
+                None,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert!(a.targets_per_day >= 500.0 * 0.99 && a.targets_per_day <= 30_000.0 * 1.01);
+        assert!(a.repeat_mean >= 2.0 && a.repeat_mean <= 4.0);
+        assert_eq!(a.kinds, vec![ContactKind::SmtpSpam]);
+        assert!(matches!(a.targeting, Targeting::Pool { kind: PoolKind::MailServers, .. }));
+    }
+
+    #[test]
+    fn rate_scale_multiplies_footprint() {
+        let w = world();
+        let base = make_profile(&w, 7, ApplicationClass::Scan, 1, 0, SimTime::ZERO, SimTime::from_days(1), 1.0, None, None);
+        let scaled = make_profile(&w, 7, ApplicationClass::Scan, 1, 0, SimTime::ZERO, SimTime::from_days(1), 0.25, None, None);
+        assert!((scaled.targets_per_day / base.targets_per_day - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_kind_mix_is_ssh_heavy() {
+        let mut ssh = 0;
+        let mut multi = 0;
+        for i in 0..1000u64 {
+            let k = scan_kinds(mix64(i));
+            if k.len() > 1 {
+                multi += 1;
+            } else if k[0] == ContactKind::ProbeTcp(22) {
+                ssh += 1;
+            }
+        }
+        assert!((250..=350).contains(&ssh), "ssh count {ssh}");
+        assert!((60..=140).contains(&multi), "multi count {multi}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for activity generation.
+
+use bs_activity::behavior::{lifetime_days, make_profile};
+use bs_activity::{ApplicationClass, Scenario, ScenarioConfig, TargetPools};
+use bs_dns::{SimDuration, SimTime};
+use bs_netsim::world::{World, WorldConfig};
+use proptest::prelude::*;
+
+fn world() -> World {
+    World::new(WorldConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated contact stays inside the requested window, names
+    /// the profile's originator, and uses one of its contact kinds.
+    #[test]
+    fn contacts_respect_profile_invariants(
+        class_idx in 0usize..12,
+        slot in 0u64..50,
+        from_day in 0u64..3,
+        span_days in 1u64..3,
+    ) {
+        let w = world();
+        let pools = TargetPools::build_all(&w, 200, 1);
+        let class = ApplicationClass::from_index(class_idx).unwrap();
+        let p = make_profile(
+            &w, 99, class, slot, 0,
+            SimTime::ZERO, SimTime::from_days(6),
+            0.05, // tiny rate for test speed
+            None, None,
+        );
+        let from = SimTime::from_days(from_day);
+        let until = SimTime::from_days(from_day + span_days);
+        let mut out = Vec::new();
+        p.contacts_into(&w, &pools, from, until, &mut out);
+        for c in &out {
+            prop_assert!(c.time >= from && c.time < until);
+            prop_assert_eq!(c.originator, p.originator);
+            prop_assert!(p.kinds.contains(&c.kind), "{:?} not in {:?}", c.kind, p.kinds);
+        }
+    }
+
+    /// Lifetimes are positive, bounded, and deterministic.
+    #[test]
+    fn lifetimes_bounded(class_idx in 0usize..12, h in any::<u64>()) {
+        let class = ApplicationClass::from_index(class_idx).unwrap();
+        let l = lifetime_days(class, h);
+        prop_assert!(l >= 2.0 && l <= 3000.0, "lifetime {l}");
+        prop_assert_eq!(l, lifetime_days(class, h));
+    }
+
+    /// Scenario ground truth covers exactly the profiles overlapping
+    /// the window.
+    #[test]
+    fn ground_truth_matches_overlap(seed in any::<u64>(), day in 0u64..4) {
+        let w = world();
+        let mut cfg = ScenarioConfig::small(seed, SimDuration::from_days(5));
+        cfg.pool_size = 100;
+        let s = Scenario::new(&w, cfg);
+        let from = SimTime::from_days(day);
+        let until = SimTime::from_days(day + 1);
+        let active = s.active_originators(from, until);
+        let expected = s
+            .profiles()
+            .iter()
+            .filter(|p| p.overlaps(from, until))
+            .count();
+        prop_assert_eq!(active.len(), expected);
+    }
+}

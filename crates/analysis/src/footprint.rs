@@ -1,0 +1,78 @@
+//! Footprint-size distributions (paper Fig. 9, §VI-A).
+
+use crate::ClassifiedOriginator;
+
+/// Complementary cumulative distribution of footprint sizes: for each
+/// distinct footprint `s`, the fraction of originators with footprint
+/// ≥ `s`, sorted ascending by `s`. Plotted log-log this is the paper's
+/// Fig. 9 (which draws the distribution of sizes per originator).
+pub fn ccdf(entries: &[ClassifiedOriginator]) -> Vec<(usize, f64)> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let mut sizes: Vec<usize> = entries.iter().map(|e| e.queriers).collect();
+    sizes.sort_unstable();
+    let n = sizes.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sizes.len() {
+        let s = sizes[i];
+        // Fraction with footprint >= s.
+        out.push((s, (sizes.len() - i) as f64 / n));
+        while i < sizes.len() && sizes[i] == s {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// How many originators have at least `min` queriers (the counting rule
+/// of §VI-C: "we count all originators with footprints of at least 20
+/// queriers").
+pub fn counts_with_at_least(entries: &[ClassifiedOriginator], min: usize) -> usize {
+    entries.iter().filter(|e| e.queriers >= min).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_activity::ApplicationClass;
+
+    fn entry(q: usize) -> ClassifiedOriginator {
+        ClassifiedOriginator {
+            originator: std::net::Ipv4Addr::new(10, 0, (q >> 8) as u8, q as u8),
+            queriers: q,
+            class: ApplicationClass::Scan,
+        }
+    }
+
+    #[test]
+    fn ccdf_matches_hand_computation() {
+        let entries: Vec<_> = [20, 20, 50, 100].into_iter().map(entry).collect();
+        let c = ccdf(&entries);
+        assert_eq!(c, vec![(20, 1.0), (50, 0.5), (100, 0.25)]);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_decreasing() {
+        let entries: Vec<_> = (0..200).map(|i| entry(20 + (i * 7) % 500)).collect();
+        let c = ccdf(&entries);
+        for w in c.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!((c[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(ccdf(&[]).is_empty());
+        assert_eq!(counts_with_at_least(&[], 20), 0);
+    }
+
+    #[test]
+    fn threshold_count() {
+        let entries: Vec<_> = [5, 19, 20, 21, 500].into_iter().map(entry).collect();
+        assert_eq!(counts_with_at_least(&entries, 20), 3);
+    }
+}

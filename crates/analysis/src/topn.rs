@@ -1,0 +1,64 @@
+//! Class composition of the biggest originators (Fig. 10, Table V).
+
+use crate::ClassifiedOriginator;
+use bs_activity::ApplicationClass;
+use std::collections::BTreeMap;
+
+/// Class counts among the `n` originators with the largest footprints
+/// (ties broken by address for determinism). With `n ≥ len`, this is
+/// the whole-dataset mix of Table V.
+pub fn class_mix_top_n(
+    entries: &[ClassifiedOriginator],
+    n: usize,
+) -> BTreeMap<ApplicationClass, usize> {
+    let mut sorted: Vec<&ClassifiedOriginator> = entries.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.queriers
+            .cmp(&a.queriers)
+            .then_with(|| a.originator.cmp(&b.originator))
+    });
+    let mut mix = BTreeMap::new();
+    for e in sorted.into_iter().take(n) {
+        *mix.entry(e.class).or_insert(0) += 1;
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn entry(i: u8, q: usize, class: ApplicationClass) -> ClassifiedOriginator {
+        ClassifiedOriginator { originator: Ipv4Addr::new(10, 0, 0, i), queriers: q, class }
+    }
+
+    #[test]
+    fn top_n_takes_largest_footprints() {
+        let entries = vec![
+            entry(1, 100, ApplicationClass::Spam),
+            entry(2, 90, ApplicationClass::Spam),
+            entry(3, 10, ApplicationClass::Mail),
+            entry(4, 5, ApplicationClass::Mail),
+        ];
+        let top2 = class_mix_top_n(&entries, 2);
+        assert_eq!(top2[&ApplicationClass::Spam], 2);
+        assert!(!top2.contains_key(&ApplicationClass::Mail));
+        let all = class_mix_top_n(&entries, 10);
+        assert_eq!(all[&ApplicationClass::Mail], 2);
+    }
+
+    #[test]
+    fn mix_totals_are_bounded_by_n() {
+        let entries: Vec<_> = (0..50u8)
+            .map(|i| entry(i, i as usize, ApplicationClass::Scan))
+            .collect();
+        let mix = class_mix_top_n(&entries, 10);
+        assert_eq!(mix.values().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn empty_entries() {
+        assert!(class_mix_top_n(&[], 10).is_empty());
+    }
+}

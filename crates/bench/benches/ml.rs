@@ -1,0 +1,57 @@
+//! Criterion benches for the ML crate: training and prediction costs
+//! at the paper's dataset sizes (≈300 examples × 22 features × 12
+//! classes).
+
+use backscatter_core::ml::{Algorithm, CartParams, Dataset, ForestParams, Sample, SvmParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn paper_sized_dataset(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(
+        (0..22).map(|i| format!("f{i}")).collect(),
+        (0..12).map(|i| format!("c{i}")).collect(),
+    );
+    for _ in 0..300 {
+        let label = rng.gen_range(0..12usize);
+        let features: Vec<f64> = (0..22)
+            .map(|j| {
+                // Give each class a distinctive mean on a few features.
+                let signal = if j % 12 == label { 1.0 } else { 0.0 };
+                signal + rng.gen_range(-0.3..0.3)
+            })
+            .collect();
+        d.push(Sample { features, label });
+    }
+    d
+}
+
+fn training(c: &mut Criterion) {
+    let data = paper_sized_dataset(1);
+    let mut g = c.benchmark_group("ml-train");
+    g.sample_size(10);
+    g.bench_function("cart", |b| {
+        let alg = Algorithm::Cart(CartParams::default());
+        b.iter(|| alg.fit(&data, 7))
+    });
+    g.bench_function("random_forest_100", |b| {
+        let alg = Algorithm::RandomForest(ForestParams::default());
+        b.iter(|| alg.fit(&data, 7))
+    });
+    g.bench_function("svm_rbf", |b| {
+        let alg = Algorithm::Svm(SvmParams::default());
+        b.iter(|| alg.fit(&data, 7))
+    });
+    g.finish();
+}
+
+fn prediction(c: &mut Criterion) {
+    let data = paper_sized_dataset(2);
+    let forest = Algorithm::RandomForest(ForestParams::default()).fit(&data, 7);
+    let probe: Vec<f64> = (0..22).map(|i| i as f64 * 0.05).collect();
+    c.bench_function("ml-predict/forest", |b| b.iter(|| forest.predict(&probe)));
+}
+
+criterion_group!(benches, training, prediction);
+criterion_main!(benches);

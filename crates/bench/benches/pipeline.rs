@@ -1,0 +1,73 @@
+//! Criterion benches for the sensing pipeline: ingestion, feature
+//! extraction, and the static-feature matcher.
+
+use backscatter_core::prelude::*;
+use backscatter_core::sensor::ingest::Observations;
+use backscatter_core::sensor::static_features::classify_name;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn build_small_log() -> (World, backscatter_core::netsim::log::QueryLog) {
+    let world = World::new(WorldConfig::default());
+    let jp = backscatter_core::netsim::types::CountryCode::new("jp").unwrap();
+    let mut cfg = ScenarioConfig::small(3, SimDuration::from_hours(12));
+    cfg.region = Some((jp, 0.9));
+    cfg.pool_size = 1_000;
+    let scenario = Scenario::new(&world, cfg);
+    let authority = AuthorityId::National(jp);
+    let mut sim = Simulator::new(&world, SimulatorConfig::observing([authority]));
+    sim.process(scenario.contacts_window(&world, SimTime::ZERO, SimTime::from_hours(12)));
+    let log = sim.into_logs().remove(&authority).expect("observed");
+    (world, log)
+}
+
+fn ingestion(c: &mut Criterion) {
+    let (world, log) = build_small_log();
+    let mut g = c.benchmark_group("sensor");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(log.len() as u64));
+    g.bench_function("ingest_dedup", |b| {
+        b.iter(|| Observations::ingest(&log, SimTime::ZERO, SimTime::from_hours(12)).originator_count())
+    });
+    g.bench_function("extract_features", |b| {
+        b.iter(|| {
+            extract_features(
+                &log,
+                &world,
+                SimTime::ZERO,
+                SimTime::from_hours(12),
+                &FeatureConfig { min_queriers: 10, top_n: None },
+            )
+            .len()
+        })
+    });
+    g.finish();
+}
+
+fn keyword_matcher(c: &mut Criterion) {
+    let names: Vec<backscatter_core::dns::DomainName> = [
+        "mail.example.com",
+        "dsl1-2-3-4.bigisp.net",
+        "ns1-cache.isp.jp",
+        "a96-7-4-2.deploy.akamai.sim",
+        "zxqv77.example.org",
+        "fw2.corp.example.com",
+        "ec2-1-2-3-4.compute.amazonaws.sim",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+    let mut g = c.benchmark_group("static-features");
+    g.throughput(Throughput::Elements(names.len() as u64));
+    g.bench_function("classify_name", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .map(|n| classify_name(n) as usize)
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ingestion, keyword_matcher);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the world model and simulator hot paths.
+
+use backscatter_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn world_queries(c: &mut Criterion) {
+    let world = World::new(WorldConfig::default());
+    let addrs: Vec<std::net::Ipv4Addr> = (0..1024u64)
+        .map(|i| world.random_public_addr(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect();
+
+    let mut g = c.benchmark_group("world");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("host_role", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for a in &addrs {
+                acc += world.host_role(*a).is_some() as usize;
+            }
+            acc
+        })
+    });
+    g.bench_function("reverse_name", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for a in &addrs {
+                acc += matches!(world.reverse_name(*a), bs_name_outcome::Name(_)) as usize;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+use backscatter_core::netsim::types::NameOutcome as bs_name_outcome;
+
+fn simulator_contacts(c: &mut Criterion) {
+    let world = World::new(WorldConfig::default());
+    let scenario = Scenario::new(
+        &world,
+        ScenarioConfig::small(7, SimDuration::from_days(1)),
+    );
+    let contacts = scenario.contacts_window(&world, SimTime::ZERO, SimTime::from_hours(6));
+    let jp = backscatter_core::netsim::types::CountryCode::new("jp").unwrap();
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(contacts.len() as u64));
+    g.bench_function("process_contacts", |b| {
+        b.iter_batched(
+            || Simulator::new(&world, SimulatorConfig::observing([AuthorityId::National(jp)])),
+            |mut sim| {
+                sim.process(contacts.iter().copied());
+                sim.stats().lookups
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn contact_generation(c: &mut Criterion) {
+    let world = World::new(WorldConfig::default());
+    let scenario = Scenario::new(
+        &world,
+        ScenarioConfig::small(7, SimDuration::from_days(1)),
+    );
+    c.bench_function("scenario/contacts_6h", |b| {
+        b.iter(|| scenario.contacts_window(&world, SimTime::ZERO, SimTime::from_hours(6)).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = world_queries, simulator_contacts, contact_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Extension: the §V-F curation advisor in action.
+//!
+//! "Meanwhile labeled examples re-appearance count informs about next
+//! expert curation." We curate once on B-multi-year, then let the
+//! advisor watch label health week by week and report when it would
+//! call the expert back — which should land about when Fig. 6 shows
+//! malicious labels halving (a few weeks after curation), far earlier
+//! than any benign-driven trigger.
+
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
+use backscatter_core::classify::pipeline::feature_map;
+use backscatter_core::classify::{advise, AdvisorConfig, CurationAdvice, LabelHealth, LabeledSet};
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::BMultiYear);
+    let windows = built.windows();
+    let curation = windows.len() / 2;
+
+    // Expert curates once, at the midpoint.
+    let feats = built.features_for_window(&world, windows[curation], &FeatureConfig::default());
+    let truth = built.truth_for_window(windows[curation]);
+    let labels = LabeledSet::curate(&truth, &feats, 140);
+    let counts = labels.class_counts();
+    let malicious: usize = counts.iter().filter(|(c, _)| c.is_malicious()).map(|(_, n)| n).sum();
+    let benign: usize = labels.len() - malicious;
+
+    heading("Extension: curation advisor on B-multi-year", "§V-F recommendation");
+    println!("curated at week {curation}: {malicious} malicious + {benign} benign examples");
+    println!();
+
+    let config = AdvisorConfig::default();
+    let mut rows = Vec::new();
+    let mut first_trigger = None;
+    for (offset, window) in windows.iter().enumerate().skip(curation) {
+        let fmap = feature_map(&built.features_for_window(&world, *window, &FeatureConfig::default()));
+        let health = LabelHealth::measure(&labels, &fmap);
+        let advice = advise(&health, &config);
+        if advice != CurationAdvice::Healthy && first_trigger.is_none() {
+            first_trigger = Some(offset - curation);
+        }
+        rows.push(vec![
+            format!("+{}", offset - curation),
+            format!("{}/{}", health.malicious_active, health.malicious_total),
+            format!("{:.0}%", 100.0 * health.malicious_fraction()),
+            format!("{}/{}", health.benign_active, health.benign_total),
+            format!("{:.0}%", 100.0 * health.benign_fraction()),
+            match advice {
+                CurationAdvice::Healthy => "healthy".to_string(),
+                CurationAdvice::RecurateMalicious => "RE-CURATE malicious".to_string(),
+                CurationAdvice::RecurateAll => "RE-CURATE all".to_string(),
+            },
+        ]);
+    }
+    print_table(
+        &["weeks since curation", "malicious active", "%", "benign active", "%", "advice"],
+        &rows,
+    );
+    println!();
+    match first_trigger {
+        Some(w) => println!(
+            "first re-curation call: +{w} weeks — consistent with Fig. 6's malicious\n\
+             half-life of about a month; benign labels alone would have lasted months."
+        ),
+        None => println!("labels stayed healthy for the whole observed span."),
+    }
+}

@@ -1,0 +1,42 @@
+//! Extension: where the activity comes from — per-class geographic
+//! distributions of classified originators at M-Root (the systematic
+//! version of Tables VII/VIII's country annotations: "unreach (CN)",
+//! "nxdom (PK)", and §VI-B's Chinese CDN observation).
+
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
+use backscatter_core::analysis::geo::{concentration, geo_breakdown, top_countries};
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::MDitl);
+    let series = classification_series(&world, &built);
+    let breakdown = geo_breakdown(&world, &series);
+
+    heading("Extension: originator geography by class (M-ditl)", "Tables VII/VIII annotations");
+    let mut rows = Vec::new();
+    for class in ApplicationClass::ALL {
+        let top = top_countries(&breakdown, class, 3);
+        if top.is_empty() {
+            continue;
+        }
+        let conc = concentration(&breakdown, class).unwrap_or(0.0);
+        let top_str = top
+            .iter()
+            .map(|(cc, n, f)| format!("{cc} {n} ({:.0}%)", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(vec![
+            class.name().to_string(),
+            format!("{:.2}", conc),
+            top_str,
+        ]);
+    }
+    print_table(&["class", "concentration", "top countries"], &rows);
+    println!();
+    println!("concentration = share of the class's originators in its busiest");
+    println!("country. Expected shape: regional classes (update, mail) concentrate;");
+    println!("scanners spread across hosting-heavy countries; big countries lead");
+    println!("simply by address-space share.");
+}

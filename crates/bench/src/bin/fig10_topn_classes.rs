@@ -1,0 +1,36 @@
+//! Fig. 10: class mix of the top-100 / top-1000 / top-10000 originators
+//! per dataset. Expected shape: the biggest footprints are unsavoury
+//! (spam and scan dominate the top-100), while infrastructure classes
+//! (mail, cloud, cdn, crawler) grow as smaller originators enter.
+
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
+use backscatter_core::analysis::topn::class_mix_top_n;
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    heading("Fig. 10: fraction of originator classes among top-N originators", "Figure 10");
+    for id in [DatasetId::JpDitl, DatasetId::BPostDitl, DatasetId::MDitl] {
+        let built = load_dataset(&world, id);
+        let series = classification_series(&world, &built);
+        let entries = &series[0].entries;
+        println!();
+        println!("{} ({} analyzable originators)", id.name(), entries.len());
+        let mut rows = Vec::new();
+        for n in [100usize, 1000, 10_000] {
+            let mix = class_mix_top_n(entries, n);
+            let total: usize = mix.values().sum();
+            let mut row = vec![format!("top-{n}")];
+            for class in ApplicationClass::ALL {
+                let f = mix.get(&class).copied().unwrap_or(0) as f64 / total.max(1) as f64;
+                row.push(if f == 0.0 { "-".into() } else { format!("{f:.2}") });
+            }
+            rows.push(row);
+        }
+        let mut header: Vec<String> = vec!["subset".to_string()];
+        header.extend(ApplicationClass::ALL.iter().map(|c| c.name().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_table(&header_refs, &rows);
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 12: weekly box plot of scanner footprints over M-sampled.
+//! Expected shape: stable median and quartiles with a volatile 90th
+//! percentile — a core of steady scanners plus occasional very large
+//! ones.
+
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
+use backscatter_core::analysis::trends::footprint_boxes;
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::MSampled);
+    let series = classification_series(&world, &built);
+    let boxes = footprint_boxes(&series, ApplicationClass::Scan);
+
+    heading("Fig. 12: scanner footprint box plot per week (M-sampled)", "Figure 12");
+    let rows: Vec<Vec<String>> = boxes
+        .iter()
+        .filter_map(|(w, b)| {
+            b.map(|b| {
+                vec![
+                    w.to_string(),
+                    b.n.to_string(),
+                    b.p10.to_string(),
+                    b.q1.to_string(),
+                    b.median.to_string(),
+                    b.q3.to_string(),
+                    b.p90.to_string(),
+                    b.max.to_string(),
+                ]
+            })
+        })
+        .collect();
+    print_table(&["week", "n", "p10", "q1", "median", "q3", "p90", "max"], &rows);
+
+    // Stability check: relative spread of weekly medians vs weekly p90s.
+    let medians: Vec<f64> = boxes.iter().filter_map(|(_, b)| b.map(|b| b.median as f64)).collect();
+    let p90s: Vec<f64> = boxes.iter().filter_map(|(_, b)| b.map(|b| b.p90 as f64)).collect();
+    let cv = |v: &[f64]| {
+        let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let var = v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64;
+        var.sqrt() / m.max(1e-9)
+    };
+    println!();
+    println!(
+        "# weekly variation: median CV {:.2}, p90 CV {:.2} (paper: median stable, p90 volatile)",
+        cv(&medians),
+        cv(&p90s)
+    );
+}

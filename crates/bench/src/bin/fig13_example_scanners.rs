@@ -1,0 +1,84 @@
+//! Fig. 13: footprints of example scanners over time — a long-lived ssh
+//! scanner, medium-lived scanners, and short burst scanners that appear
+//! only around the disclosure event.
+
+use bench::table::heading;
+use bench::{classification_series, load_dataset, standard_world};
+use backscatter_core::analysis::trends::originator_traces;
+use backscatter_core::netsim::types::ContactKind;
+use backscatter_core::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+fn main() {
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::MSampled);
+    let series = classification_series(&world, &built);
+
+    // Index scan detections per originator: (weeks present, max footprint).
+    let mut presence: BTreeMap<Ipv4Addr, Vec<usize>> = BTreeMap::new();
+    for w in &series {
+        for e in w.of_class(ApplicationClass::Scan) {
+            presence.entry(e.originator).or_default().push(w.window);
+        }
+    }
+    // Ground-truth port lookup from the scenario.
+    let port_of = |ip: Ipv4Addr| -> String {
+        for p in built.scenario.profiles() {
+            if p.originator == ip {
+                return match p.kinds.first() {
+                    Some(ContactKind::ProbeTcp(p)) if p > &1000 => format!("tcp{p}"),
+                    Some(ContactKind::ProbeTcp(p)) => format!("tcp{p}"),
+                    Some(ContactKind::ProbeUdp(p)) => format!("udp{p}"),
+                    Some(ContactKind::ProbeIcmp) => "icmp".to_string(),
+                    _ => "multi".to_string(),
+                };
+            }
+        }
+        "?".to_string()
+    };
+
+    let n_weeks = series.len();
+    let surge = (n_weeks as f64 * 0.195) as usize;
+    // Choose: the longest-lived scanner; a second long-lived one; a
+    // medium-lived one; and two burst scanners overlapping the surge.
+    let mut by_longevity: Vec<(&Ipv4Addr, &Vec<usize>)> = presence.iter().collect();
+    by_longevity.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+    let mut chosen: Vec<Ipv4Addr> = Vec::new();
+    for (ip, _) in by_longevity.iter().take(2) {
+        chosen.push(**ip);
+    }
+    if let Some((ip, _)) = by_longevity
+        .iter()
+        .find(|(_, weeks)| weeks.len() >= 4 && weeks.len() <= n_weeks / 3)
+    {
+        chosen.push(**ip);
+    }
+    let bursts: Vec<Ipv4Addr> = by_longevity
+        .iter()
+        .rev()
+        .filter(|(_, weeks)| {
+            weeks.len() <= 4 && weeks.iter().any(|w| (surge..surge + 4).contains(w))
+        })
+        .take(2)
+        .map(|(ip, _)| **ip)
+        .collect();
+    chosen.extend(bursts);
+
+    heading("Fig. 13: example scanners over time (weekly footprints)", "Figure 13");
+    let traces = originator_traces(&series, &chosen);
+    for ip in &chosen {
+        let Some(trace) = traces.get(ip) else { continue };
+        println!();
+        println!(
+            "# {} ({}) — present {} of {} weeks",
+            ip,
+            port_of(*ip),
+            trace.len(),
+            n_weeks
+        );
+        for (w, q) in trace {
+            println!("{w}\t{q}");
+        }
+    }
+}

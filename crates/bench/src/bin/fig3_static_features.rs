@@ -1,0 +1,37 @@
+//! Fig. 3: static features for the six case studies — the fraction of
+//! each originator's queriers whose reverse names fall in each keyword
+//! category, on JP-ditl.
+
+use bench::harness::case_studies;
+use bench::table::{f3, heading, print_table};
+use bench::{load_dataset, standard_world};
+use backscatter_core::prelude::*;
+use backscatter_core::sensor::StaticFeature;
+
+fn main() {
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::JpDitl);
+    let cases = case_studies(&world, &built);
+    heading("Fig. 3: static features for case studies (JP-ditl)", "Figure 3");
+
+    // Rows per feature, columns per case, like the paper's stacked bars.
+    let mut header: Vec<&str> = vec!["static feature"];
+    for (name, _) in &cases {
+        header.push(name);
+    }
+    let mut rows = Vec::new();
+    for feature in StaticFeature::ALL {
+        let mut row = vec![feature.name().to_string()];
+        for (_, f) in &cases {
+            row.push(f3(f.features.static_fraction(feature)));
+        }
+        rows.push(row);
+    }
+    print_table(&header, &rows);
+
+    println!();
+    println!("footprints (unique queriers):");
+    for (name, f) in &cases {
+        println!("  {name:10} {} ({})", f.querier_count, f.originator);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fig. 5: re-appearing *benign* labeled examples over time around a
+//! curation point. Expected shape: a peak at curation, then slow decay
+//! (the paper sees ~10 % in a month, ~20 % over six months).
+
+use bench::harness::persistence_figure;
+
+fn main() {
+    persistence_figure(false);
+}

@@ -1,0 +1,10 @@
+//! Fig. 6: re-appearing *malicious* labeled examples over time around a
+//! curation point. Expected shape: sharp decay — the paper sees the
+//! count fall to ~50 % within a month on either side of curation,
+//! driven by spam/scanner address turnover.
+
+use bench::harness::persistence_figure;
+
+fn main() {
+    persistence_figure(true);
+}

@@ -1,0 +1,68 @@
+//! Fig. 8: CDF of the vote-consistency ratio r over M-sampled weekly
+//! classifications, at querier thresholds q ∈ {20, 50, 75, 100}.
+//! Expected shape: more queriers → more consistent votes; the large
+//! majority of originators have a strict-majority class (r > 0.5).
+
+use bench::table::heading;
+use bench::{classification_series, load_dataset, standard_world};
+use backscatter_core::classify::{consistency_cdf, consistency_ratios, vote_entropy, WeeklyVote};
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::MSampled);
+    let series = classification_series(&world, &built);
+
+    let votes: Vec<WeeklyVote> = series
+        .iter()
+        .flat_map(|w| {
+            w.entries.iter().map(move |e| WeeklyVote {
+                originator: e.originator,
+                week: w.window,
+                class: e.class,
+                queriers: e.queriers,
+            })
+        })
+        .collect();
+
+    heading("Fig. 8: CDF of r (fraction of weeks with the majority class)", "Figure 8 / §V-E");
+    for q in [20usize, 50, 75, 100] {
+        let ratios = consistency_ratios(&votes, q, 4);
+        let rs: Vec<f64> = ratios.iter().map(|r| r.1).collect();
+        let cdf = consistency_cdf(&rs);
+        println!();
+        println!("# q = {q} ({} originators with ≥4 qualifying weeks)", rs.len());
+        // Decimate to ~20 points.
+        let step = (cdf.len() / 20).max(1);
+        for (i, (r, f)) in cdf.iter().enumerate() {
+            if i % step == 0 || i + 1 == cdf.len() {
+                println!("{r:.3}\t{f:.3}");
+            }
+        }
+        let strict_majority = rs.iter().filter(|r| **r > 0.5).count();
+        let fully_consistent = rs.iter().filter(|r| **r >= 0.999).count();
+        if !rs.is_empty() {
+            println!(
+                "# strict majority: {:.0}%, fully consistent: {:.0}%",
+                100.0 * strict_majority as f64 / rs.len() as f64,
+                100.0 * fully_consistent as f64 / rs.len() as f64
+            );
+        }
+        // §V-E: among plurality-only originators (r ≤ 0.5), is there a
+        // single dominant class (low vote entropy) or two equally
+        // common ones? The paper finds the former.
+        let plurality_entropy: Vec<f64> = ratios
+            .iter()
+            .filter(|(_, r, _, _)| *r <= 0.5)
+            .filter_map(|(ip, _, _, _)| vote_entropy(&votes, *ip, q))
+            .collect();
+        if !plurality_entropy.is_empty() {
+            let mean = plurality_entropy.iter().sum::<f64>() / plurality_entropy.len() as f64;
+            println!(
+                "# plurality cases (r ≤ 0.5): {} originators, mean vote entropy {:.2} (1.0 = two equal classes)",
+                plurality_entropy.len(),
+                mean
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 9: distribution of originator footprint sizes per dataset —
+//! heavy-tailed, with hundreds of large originators.
+
+use bench::table::heading;
+use bench::{classification_series, load_dataset, standard_world};
+use backscatter_core::analysis::footprint::{ccdf, counts_with_at_least};
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    heading("Fig. 9: distribution of originator footprint size", "Figure 9");
+    for id in [
+        DatasetId::JpDitl,
+        DatasetId::BPostDitl,
+        DatasetId::MDitl,
+        DatasetId::MSampled,
+    ] {
+        let built = load_dataset(&world, id);
+        let series = classification_series(&world, &built);
+        // For multi-window datasets, use the first window (the paper
+        // plots one feature-window per dataset: d = 50 h / 36 h / 7 d).
+        let entries = &series[0].entries;
+        let dist = ccdf(entries);
+        println!();
+        println!("# {} (window 0, {} analyzable originators)", id.name(), entries.len());
+        println!("# footprint\tfraction-with-at-least");
+        // Print a decimated series: every point would be thousands of
+        // lines; keep ~30 log-spaced points.
+        let step = (dist.len() / 30).max(1);
+        for (i, (size, frac)) in dist.iter().enumerate() {
+            if i % step == 0 || i + 1 == dist.len() {
+                println!("{size}\t{frac:.5}");
+            }
+        }
+        println!(
+            "# ≥20 queriers: {}, ≥100: {}, ≥1000: {}, max: {}",
+            counts_with_at_least(entries, 20),
+            counts_with_at_least(entries, 100),
+            counts_with_at_least(entries, 1000),
+            entries.iter().map(|e| e.queriers).max().unwrap_or(0),
+        );
+    }
+}

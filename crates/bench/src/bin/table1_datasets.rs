@@ -1,0 +1,54 @@
+//! Table I: the datasets — observation point, span, sampling, and
+//! reverse-query volume.
+//!
+//! The three short (DITL-style) datasets are simulated on the spot (or
+//! loaded from cache); the long ones are reported from cache when a
+//! longitudinal binary has built them, and from their specs otherwise.
+
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    heading("Table I: DNS datasets", "Table I");
+    let mut rows = Vec::new();
+    for id in DatasetId::ALL {
+        let spec = DatasetSpec::paper(id, Scale::standard(), 1);
+        let span_h = spec.scenario.duration.secs() as f64 / 3600.0;
+        let short = matches!(
+            id,
+            DatasetId::JpDitl
+                | DatasetId::BPostDitl
+                | DatasetId::MDitl
+                | DatasetId::MDitl2015
+                | DatasetId::BLong
+        );
+        let (reverse_queries, qps) = if short {
+            let built = load_dataset(&world, id);
+            let n = built.log.len();
+            (n.to_string(), format!("{:.2}", n as f64 / (span_h * 3600.0)))
+        } else if let Some(log) = bench::cache::load_log(&format!("{}-s1", id.name())) {
+            let n = log.len();
+            (n.to_string(), format!("{:.2}", n as f64 / (span_h * 3600.0)))
+        } else {
+            ("(not simulated yet)".to_string(), "-".to_string())
+        };
+        rows.push(vec![
+            id.name().to_string(),
+            spec.authority.to_string(),
+            if span_h < 100.0 {
+                format!("{span_h:.0} hours")
+            } else {
+                format!("{:.0} days", span_h / 24.0)
+            },
+            spec.sampling.map(|n| format!("1:{n}")).unwrap_or_else(|| "no".to_string()),
+            reverse_queries,
+            qps,
+        ]);
+    }
+    print_table(
+        &["dataset", "authority", "duration", "sampling", "reverse queries", "reverse qps"],
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Table II: dynamic features for the six case studies on JP-ditl.
+
+use bench::harness::case_studies;
+use bench::table::{f3, heading, print_table};
+use bench::{load_dataset, standard_world};
+use backscatter_core::prelude::*;
+
+fn main() {
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::JpDitl);
+    let cases = case_studies(&world, &built);
+    heading("Table II: dynamic features for case studies (JP-ditl)", "Table II");
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|(name, f)| {
+            let d = &f.features.dynamic;
+            vec![
+                name.to_string(),
+                format!("{:.1}", d.queries_per_querier),
+                f3(d.global_entropy),
+                f3(d.local_entropy),
+                f3(d.countries_per_querier),
+                f3(d.persistence),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "case",
+            "queries/querier",
+            "global entropy",
+            "local entropy",
+            "countries/querier",
+            "persistence",
+        ],
+        &rows,
+    );
+    println!();
+    println!("expected shape: spam > mail in queries/querier; cdn and mail lower");
+    println!("global entropy than scanners; scanners highest local entropy.");
+}

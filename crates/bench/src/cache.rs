@@ -1,0 +1,118 @@
+//! On-disk caching of expensive simulation products.
+//!
+//! Query logs cache as the TSV format `bs-netsim` defines; per-window
+//! classification series cache as a small TSV of
+//! `(window, originator, queriers, class)` rows. Cache keys embed the
+//! dataset name and seed; delete `bench-cache/` to force a rebuild.
+
+use backscatter_core::analysis::{ClassifiedOriginator, WindowClassification};
+use backscatter_core::netsim::log::QueryLog;
+use backscatter_core::prelude::ApplicationClass;
+use std::fs;
+use std::path::PathBuf;
+
+/// The cache directory at the workspace root.
+pub fn cache_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let dir = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels under the workspace root")
+        .join("bench-cache");
+    fs::create_dir_all(&dir).expect("create bench-cache");
+    dir
+}
+
+/// Load a cached query log, if present and parseable.
+pub fn load_log(key: &str) -> Option<QueryLog> {
+    let path = cache_dir().join(format!("{key}.log.tsv"));
+    let text = fs::read_to_string(path).ok()?;
+    QueryLog::from_tsv(&text).ok()
+}
+
+/// Store a query log under a cache key.
+pub fn store_log(key: &str, log: &QueryLog) {
+    let path = cache_dir().join(format!("{key}.log.tsv"));
+    fs::write(path, log.to_tsv()).expect("write log cache");
+}
+
+/// Load a cached classification series.
+pub fn load_series(key: &str) -> Option<Vec<WindowClassification>> {
+    let path = cache_dir().join(format!("{key}.series.tsv"));
+    let text = fs::read_to_string(path).ok()?;
+    let mut windows: Vec<WindowClassification> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split('\t');
+        let window: usize = f.next()?.parse().ok()?;
+        let originator = f.next()?.parse().ok()?;
+        let queriers: usize = f.next()?.parse().ok()?;
+        let class: ApplicationClass = f.next()?.parse().ok()?;
+        while windows.len() <= window {
+            windows.push(WindowClassification { window: windows.len(), entries: Vec::new() });
+        }
+        windows[window]
+            .entries
+            .push(ClassifiedOriginator { originator, queriers, class });
+    }
+    if windows.is_empty() {
+        None
+    } else {
+        Some(windows)
+    }
+}
+
+/// Store a classification series under a cache key.
+pub fn store_series(key: &str, series: &[WindowClassification]) {
+    let mut out = String::new();
+    for w in series {
+        for e in &w.entries {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                w.window, e.originator, e.queriers, e.class
+            ));
+        }
+    }
+    let path = cache_dir().join(format!("{key}.series.tsv"));
+    fs::write(path, out).expect("write series cache");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_round_trips() {
+        let series = vec![
+            WindowClassification {
+                window: 0,
+                entries: vec![ClassifiedOriginator {
+                    originator: "10.0.0.1".parse().unwrap(),
+                    queriers: 42,
+                    class: ApplicationClass::Scan,
+                }],
+            },
+            WindowClassification {
+                window: 1,
+                entries: vec![ClassifiedOriginator {
+                    originator: "10.0.0.2".parse().unwrap(),
+                    queriers: 99,
+                    class: ApplicationClass::Spam,
+                }],
+            },
+        ];
+        store_series("test-roundtrip", &series);
+        let loaded = load_series("test-roundtrip").unwrap();
+        assert_eq!(loaded, series);
+        let _ = std::fs::remove_file(cache_dir().join("test-roundtrip.series.tsv"));
+    }
+
+    #[test]
+    fn missing_cache_is_none() {
+        assert!(load_log("definitely-not-a-key").is_none());
+        assert!(load_series("definitely-not-a-key").is_none());
+    }
+}

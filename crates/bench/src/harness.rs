@@ -1,0 +1,235 @@
+//! Standard world, dataset loading, and the shared classification
+//! series used by the longitudinal figures.
+
+use crate::cache;
+use backscatter_core::prelude::*;
+use std::time::Instant;
+
+/// The world every experiment binary runs against. One fixed seed, so
+/// every binary observes the same Internet.
+pub fn standard_world() -> World {
+    World::new(WorldConfig::default())
+}
+
+/// Build (or load from cache) a dataset at standard scale with the
+/// canonical seed.
+pub fn load_dataset(world: &World, id: DatasetId) -> BuiltDataset {
+    let spec = DatasetSpec::paper(id, Scale::standard(), 1);
+    let key = format!("{}-s1", id.name());
+    if let Some(log) = cache::load_log(&key) {
+        eprintln!("[bench] {key}: using cached log ({} records)", log.len());
+        return backscatter_core::datasets::build::assemble_with_log(world, spec, log);
+    }
+    eprintln!("[bench] {key}: simulating (this can take minutes for long datasets)…");
+    let t0 = Instant::now();
+    let built = build_dataset(world, spec);
+    eprintln!(
+        "[bench] {key}: simulated {} contacts → {} log records in {:.0}s",
+        built.stats.contacts,
+        built.log.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    cache::store_log(&key, &built.log);
+    built
+}
+
+/// Run (or load from cache) the standard per-window classification of a
+/// dataset: curation on window 0, daily retraining, RF with majority
+/// voting. This is the series behind Table V and Figs. 8–15.
+pub fn classification_series(world: &World, built: &BuiltDataset) -> Vec<WindowClassification> {
+    let key = format!("{}-s1-rf", built.spec.id.name());
+    if let Some(series) = cache::load_series(&key) {
+        eprintln!("[bench] {key}: using cached classification series");
+        return series;
+    }
+    eprintln!("[bench] {key}: classifying {} windows…", built.windows().len());
+    let t0 = Instant::now();
+    let mut pipeline = DatasetPipeline::default();
+    let n = built.windows().len();
+    if n > 6 {
+        // Long feeds get the paper's recurring expert curation: three
+        // dates spread over the span, merged into one labeled set.
+        pipeline.curation_windows = vec![0, n / 3, 2 * n / 3];
+    }
+    let run = pipeline.run(world, built);
+    eprintln!("[bench] {key}: classified in {:.0}s", t0.elapsed().as_secs_f64());
+    cache::store_series(&key, &run.windows);
+    run.windows
+}
+
+/// The six case-study roles of the paper's §IV-A (Fig. 3 / Table II).
+pub const CASE_STUDIES: [&str; 6] = ["scan-icmp", "scan-ssh", "ad-track", "cdn", "mail", "spam"];
+
+/// Select the paper's six case-study originators from a built dataset:
+/// the largest-footprint representative of each role. Returns
+/// `(case name, features)` pairs; roles with no analyzable
+/// representative are skipped.
+pub fn case_studies(
+    world: &World,
+    built: &BuiltDataset,
+) -> Vec<(&'static str, OriginatorFeatures)> {
+    use backscatter_core::netsim::types::ContactKind;
+    let window = built.windows()[0];
+    let feats = built.features_for_window(world, window, &FeatureConfig::default());
+    let by_ip: std::collections::BTreeMap<_, _> =
+        feats.iter().map(|f| (f.originator, f.clone())).collect();
+
+    let mut picks: std::collections::BTreeMap<&'static str, OriginatorFeatures> =
+        std::collections::BTreeMap::new();
+    let mut consider = |name: &'static str, f: &OriginatorFeatures| {
+        let better = picks
+            .get(name)
+            .map(|cur| f.querier_count > cur.querier_count)
+            .unwrap_or(true);
+        if better {
+            picks.insert(name, f.clone());
+        }
+    };
+    for p in built.scenario.profiles() {
+        let Some(f) = by_ip.get(&p.originator) else {
+            continue;
+        };
+        let case = match p.class {
+            ApplicationClass::Scan => {
+                if p.kinds.contains(&ContactKind::ProbeIcmp) {
+                    "scan-icmp"
+                } else if p.kinds == vec![ContactKind::ProbeTcp(22)] {
+                    "scan-ssh"
+                } else {
+                    continue;
+                }
+            }
+            ApplicationClass::AdTracker => "ad-track",
+            ApplicationClass::Cdn => "cdn",
+            ApplicationClass::Mail => "mail",
+            ApplicationClass::Spam => "spam",
+            _ => continue,
+        };
+        consider(case, f);
+    }
+    CASE_STUDIES
+        .iter()
+        .filter_map(|name| picks.get(name).map(|f| (*name, f.clone())))
+        .collect()
+}
+
+/// Ground-truth (oracle) classification series: the same windows, but
+/// labeled from the scenario's ground truth instead of the classifier.
+/// Used where the paper itself uses curated labels (Figs. 5–6).
+pub fn truth_series(world: &World, built: &BuiltDataset) -> Vec<WindowClassification> {
+    let config = FeatureConfig::default();
+    built
+        .windows()
+        .iter()
+        .enumerate()
+        .map(|(i, window)| {
+            let feats = built.features_for_window(world, *window, &config);
+            let truth = built.truth_for_window(*window);
+            let entries = feats
+                .iter()
+                .filter_map(|f| {
+                    truth.get(&f.originator).map(|class| ClassifiedOriginator {
+                        originator: f.originator,
+                        queriers: f.querier_count,
+                        class: *class,
+                    })
+                })
+                .collect();
+            WindowClassification { window: i, entries }
+        })
+        .collect()
+}
+
+/// Build an ML training dataset from one or more curation dates: each
+/// date contributes its curated examples *with that date's feature
+/// vectors* (the paper's M-sampled protocol merges three such dates).
+/// Duplicate originators keep their first curation.
+pub fn multi_date_training_data(
+    world: &World,
+    built: &BuiltDataset,
+    curation_windows: &[usize],
+    per_class_cap: usize,
+) -> backscatter_core::ml::Dataset {
+    use backscatter_core::classify::pipeline::feature_map;
+    use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
+    use std::collections::BTreeSet;
+
+    let windows = built.windows();
+    let mut data = backscatter_core::ml::Dataset::new(
+        backscatter_core::sensor::FeatureVector::names(),
+        ApplicationClass::all_names(),
+    );
+    let mut seen: BTreeSet<std::net::Ipv4Addr> = BTreeSet::new();
+    for &cw in curation_windows {
+        let Some(window) = windows.get(cw) else { continue };
+        let feats = built.features_for_window(world, *window, &FeatureConfig::default());
+        let truth = built.truth_for_window(*window);
+        let labeled = LabeledSet::curate(&truth, &feats, per_class_cap);
+        let fmap = feature_map(&feats);
+        let part = ClassifierPipeline::to_dataset(
+            &LabeledSet {
+                examples: labeled
+                    .examples
+                    .into_iter()
+                    .filter(|e| seen.insert(e.originator))
+                    .collect(),
+            },
+            &fmap,
+        );
+        for s in part.samples {
+            data.push(s);
+        }
+    }
+    data
+}
+
+/// Driver shared by the Fig. 5 / Fig. 6 binaries: curate a labeled set
+/// at the midpoint of B-multi-year, then count how many of its benign
+/// (or malicious) examples re-appear in each weekly window.
+pub fn persistence_figure(malicious: bool) {
+    use backscatter_core::analysis::churn::persistence_series;
+    use backscatter_core::classify::LabeledSet;
+
+    let world = standard_world();
+    let built = load_dataset(&world, DatasetId::BMultiYear);
+    let series = truth_series(&world, &built);
+    let curation_window = series.len() / 2;
+
+    // Curate at the midpoint, like the paper's 2014-04-28..30 pass.
+    let windows = built.windows();
+    let feats =
+        built.features_for_window(&world, windows[curation_window], &FeatureConfig::default());
+    let truth = built.truth_for_window(windows[curation_window]);
+    let labeled = LabeledSet::curate(&truth, &feats, 140);
+    let pairs: Vec<_> = labeled.examples.iter().map(|e| (e.originator, e.class)).collect();
+
+    let kind = if malicious { "malicious" } else { "benign" };
+    crate::table::heading(
+        &format!(
+            "Fig. {}: re-appearing {kind} labeled examples over time",
+            if malicious { 6 } else { 5 }
+        ),
+        "Figures 5-6 / \u{a7}V-A",
+    );
+    println!("curation at week {curation_window} of {}", series.len());
+    println!("# week\tre-appearing {kind} examples");
+    let persistence = persistence_series(&series, &pairs, malicious);
+    for (w, n) in &persistence {
+        println!("{w}\t{n}");
+    }
+
+    // Quantify the decay rate after curation.
+    let at = |offset: usize| {
+        persistence
+            .get(curation_window + offset)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    let peak = at(0).max(1);
+    println!(
+        "# retention after curation: +4 weeks {:.0}%, +12 weeks {:.0}%, +24 weeks {:.0}%",
+        100.0 * at(4) as f64 / peak as f64,
+        100.0 * at(12) as f64 / peak as f64,
+        100.0 * at(24) as f64 / peak as f64,
+    );
+}

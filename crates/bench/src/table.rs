@@ -1,0 +1,81 @@
+//! Plain-text table and series printers.
+
+/// Print a header like `== Table III: ... ==` with a provenance note.
+pub fn heading(what: &str, paper_ref: &str) {
+    println!();
+    println!("== {what} ==");
+    println!("   (reproduces {paper_ref}; shapes comparable, absolute numbers are simulator-scale)");
+}
+
+/// Print a fixed-width table: a header row then data rows. Column
+/// widths adapt to content.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row arity must match header");
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        println!("{}", line.trim_end());
+    };
+    fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for r in rows {
+        fmt_row(r);
+    }
+}
+
+/// Print an `(x, y)` series, one point per line, for plotting.
+pub fn print_series(name: &str, points: &[(f64, f64)]) {
+    println!("# series: {name}");
+    for (x, y) in points {
+        println!("{x}\t{y}");
+    }
+}
+
+/// Format a float with three significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "hello".into()], vec!["22".into(), "x".into()]],
+        );
+        print_series("s", &[(1.0, 2.0)]);
+        heading("Table X", "§0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(0.5), "0.50");
+    }
+}

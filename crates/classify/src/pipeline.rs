@@ -1,0 +1,180 @@
+//! Training and applying the originator classifier.
+
+use crate::labels::LabeledSet;
+use bs_activity::ApplicationClass;
+use bs_ml::{Algorithm, Dataset, MajorityEnsemble, Sample};
+use bs_sensor::{FeatureVector, OriginatorFeatures};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Feature vectors keyed by originator.
+pub type FeatureMap = BTreeMap<Ipv4Addr, FeatureVector>;
+
+/// Build a feature map from extracted sensor output.
+pub fn feature_map(features: &[OriginatorFeatures]) -> FeatureMap {
+    features
+        .iter()
+        .map(|f| (f.originator, f.features.clone()))
+        .collect()
+}
+
+/// Configuration of one classifier: algorithm plus the run count for
+/// majority voting.
+#[derive(Debug, Clone)]
+pub struct ClassifierPipeline {
+    /// The learning algorithm.
+    pub algorithm: Algorithm,
+    /// Independent fits to majority-vote over (paper: 10 for randomized
+    /// algorithms, 1 for CART).
+    pub runs: usize,
+}
+
+impl ClassifierPipeline {
+    /// The paper's preferred configuration: random forest, 10 votes.
+    pub fn random_forest() -> Self {
+        ClassifierPipeline {
+            algorithm: Algorithm::RandomForest(bs_ml::ForestParams::default()),
+            runs: 10,
+        }
+    }
+
+    /// Convert labeled examples plus current features into an ML
+    /// dataset. Examples without features in the map are skipped.
+    pub fn to_dataset(labeled: &LabeledSet, features: &FeatureMap) -> Dataset {
+        let mut d = Dataset::new(FeatureVector::names(), ApplicationClass::all_names());
+        for e in &labeled.examples {
+            if let Some(fv) = features.get(&e.originator) {
+                d.push(Sample { features: fv.to_vec(), label: e.class.index() });
+            }
+        }
+        d
+    }
+
+    /// Train on the labeled set with current feature values. Returns
+    /// `None` when no labeled example has features (training is
+    /// impossible — the condition behind the gaps in Fig. 7).
+    pub fn train(
+        &self,
+        labeled: &LabeledSet,
+        features: &FeatureMap,
+        seed: u64,
+    ) -> Option<TrainedClassifier> {
+        let data = Self::to_dataset(labeled, features);
+        if data.is_empty() || data.present_classes().len() < 2 {
+            return None;
+        }
+        let ensemble = MajorityEnsemble::fit(&self.algorithm, &data, self.runs, seed);
+        Some(TrainedClassifier { ensemble })
+    }
+}
+
+/// A trained classifier ready to label originators.
+pub struct TrainedClassifier {
+    ensemble: MajorityEnsemble,
+}
+
+impl TrainedClassifier {
+    /// Classify one feature vector.
+    pub fn classify(&self, fv: &FeatureVector) -> ApplicationClass {
+        let idx = self.ensemble.predict(&fv.to_vec());
+        ApplicationClass::from_index(idx).expect("model trained on class schema")
+    }
+
+    /// Classify with the ensemble's vote confidence in `[0, 1]`.
+    pub fn classify_with_confidence(&self, fv: &FeatureVector) -> (ApplicationClass, f64) {
+        let (idx, conf) = self.ensemble.predict_with_confidence(&fv.to_vec());
+        (
+            ApplicationClass::from_index(idx).expect("model trained on class schema"),
+            conf,
+        )
+    }
+
+    /// Classify every originator in a feature map.
+    pub fn classify_all(&self, features: &FeatureMap) -> BTreeMap<Ipv4Addr, ApplicationClass> {
+        features
+            .iter()
+            .map(|(ip, fv)| (*ip, self.classify(fv)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::LabeledExample;
+    use bs_ml::CartParams;
+    use bs_sensor::DynamicFeatures;
+
+    /// Synthetic features: spam has mail-fraction 0.9, scan has
+    /// nxdomain 0.8 — trivially separable.
+    fn fv(mail: f64, nx: f64) -> FeatureVector {
+        let mut s = [0.0; 14];
+        s[1] = mail; // static:mail
+        s[13] = nx; // static:nxdomain
+        s[11] = 1.0 - mail - nx; // other
+        FeatureVector { static_fractions: s, dynamic: DynamicFeatures::default() }
+    }
+
+    fn setup() -> (LabeledSet, FeatureMap) {
+        let mut features = FeatureMap::new();
+        let mut examples = Vec::new();
+        for i in 0..15u8 {
+            let ip: Ipv4Addr = format!("10.0.0.{i}").parse().unwrap();
+            features.insert(ip, fv(0.9, 0.02));
+            examples.push(LabeledExample { originator: ip, class: ApplicationClass::Spam });
+            let ip2: Ipv4Addr = format!("10.0.1.{i}").parse().unwrap();
+            features.insert(ip2, fv(0.05, 0.8));
+            examples.push(LabeledExample { originator: ip2, class: ApplicationClass::Scan });
+        }
+        (LabeledSet { examples }, features)
+    }
+
+    #[test]
+    fn train_and_classify_round_trip() {
+        let (labeled, features) = setup();
+        let pipe = ClassifierPipeline {
+            algorithm: Algorithm::Cart(CartParams::default()),
+            runs: 1,
+        };
+        let model = pipe.train(&labeled, &features, 1).expect("trainable");
+        assert_eq!(model.classify(&fv(0.85, 0.05)), ApplicationClass::Spam);
+        assert_eq!(model.classify(&fv(0.0, 0.9)), ApplicationClass::Scan);
+        let all = model.classify_all(&features);
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn training_fails_gracefully_without_examples() {
+        let pipe = ClassifierPipeline::random_forest();
+        let empty_labels = LabeledSet::default();
+        let (_, features) = setup();
+        assert!(pipe.train(&empty_labels, &features, 1).is_none());
+        // Labels exist but no features match → also untrainable.
+        let (labeled, _) = setup();
+        assert!(pipe.train(&labeled, &FeatureMap::new(), 1).is_none());
+    }
+
+    #[test]
+    fn single_class_is_untrainable() {
+        let (labeled, features) = setup();
+        let only_spam = LabeledSet {
+            examples: labeled
+                .examples
+                .into_iter()
+                .filter(|e| e.class == ApplicationClass::Spam)
+                .collect(),
+        };
+        let pipe = ClassifierPipeline::random_forest();
+        assert!(pipe.train(&only_spam, &features, 1).is_none());
+    }
+
+    #[test]
+    fn dataset_conversion_skips_missing_features() {
+        let (labeled, mut features) = setup();
+        features.remove(&"10.0.0.0".parse::<Ipv4Addr>().unwrap());
+        let d = ClassifierPipeline::to_dataset(&labeled, &features);
+        assert_eq!(d.len(), 29);
+        assert_eq!(d.n_features(), 22);
+        assert_eq!(d.n_classes(), 12);
+    }
+}

@@ -1,0 +1,320 @@
+//! The reverse (`in-addr.arpa`) namespace.
+//!
+//! Reverse DNS maps an IPv4 address back to a domain name: the address
+//! `1.2.3.4` is looked up as a `PTR` query for `4.3.2.1.in-addr.arpa`.
+//! The backscatter sensor identifies the *originator* of network-wide
+//! activity from exactly this QNAME, and the simulated DNS hierarchy
+//! delegates portions of the reverse tree ([`ReverseZone`]) to the
+//! authorities that the paper instruments (root, national, final).
+
+use crate::name::{DomainName, Label};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Build the reverse name for an IPv4 address:
+/// `192.0.2.77` → `77.2.0.192.in-addr.arpa`.
+pub fn reverse_name(addr: Ipv4Addr) -> DomainName {
+    let o = addr.octets();
+    // Labels are at most 3 digits and the whole name is far below the
+    // 255-byte limit, so these constructions cannot fail.
+    let labels = vec![
+        Label::new(&o[3].to_string()).expect("octet label"),
+        Label::new(&o[2].to_string()).expect("octet label"),
+        Label::new(&o[1].to_string()).expect("octet label"),
+        Label::new(&o[0].to_string()).expect("octet label"),
+        Label::new("in-addr").expect("in-addr"),
+        Label::new("arpa").expect("arpa"),
+    ];
+    DomainName::from_labels(labels).expect("reverse name fits")
+}
+
+/// Parse a (possibly partial) reverse name back to the IPv4 address it
+/// refers to. Returns `None` unless the name is exactly a full 4-octet
+/// reverse name under `in-addr.arpa`.
+pub fn parse_reverse_v4(name: &DomainName) -> Option<Ipv4Addr> {
+    let labels = name.labels();
+    if labels.len() != 6 {
+        return None;
+    }
+    if !labels[4].as_str().eq_ignore_ascii_case("in-addr")
+        || !labels[5].as_str().eq_ignore_ascii_case("arpa")
+    {
+        return None;
+    }
+    let mut octets = [0u8; 4];
+    for i in 0..4 {
+        let s = labels[i].as_str();
+        // Reject leading zeros ("01") and non-numeric labels outright;
+        // real resolvers send them occasionally, but they never name a
+        // canonical address.
+        if s.len() > 1 && s.starts_with('0') {
+            return None;
+        }
+        let v: u32 = s.parse().ok()?;
+        if v > 255 {
+            return None;
+        }
+        // QNAME is reversed: first label is the last octet.
+        octets[3 - i] = v as u8;
+    }
+    Some(Ipv4Addr::from(octets))
+}
+
+/// Build the reverse name for an IPv6 address under `ip6.arpa`:
+/// thirty-two nibble labels, least-significant first (RFC 3596 §2.5).
+///
+/// `2001:db8::1` →
+/// `1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2.ip6.arpa`.
+///
+/// The paper's sensor is IPv4-only (its vantage points saw 2014-era
+/// traffic), but the technique carries over directly: IPv6 backscatter
+/// arrives as PTR queries against `ip6.arpa`, and — as the paper notes
+/// when dismissing IPv6 darknets — passive backscatter is one of the
+/// few network-wide sensors that still works in the huge v6 space.
+pub fn reverse_name_v6(addr: Ipv6Addr) -> DomainName {
+    let octets = addr.octets();
+    let mut labels: Vec<Label> = Vec::with_capacity(34);
+    for o in octets.iter().rev() {
+        // Low nibble first, then high nibble.
+        for nibble in [o & 0x0F, o >> 4] {
+            let c = char::from_digit(nibble as u32, 16).expect("nibble is hex");
+            labels.push(Label::new(&c.to_string()).expect("hex label"));
+        }
+    }
+    labels.push(Label::new("ip6").expect("ip6"));
+    labels.push(Label::new("arpa").expect("arpa"));
+    DomainName::from_labels(labels).expect("ip6.arpa name fits in 255 bytes")
+}
+
+/// Parse a full 32-nibble `ip6.arpa` name back to its IPv6 address.
+pub fn parse_reverse_v6(name: &DomainName) -> Option<Ipv6Addr> {
+    let labels = name.labels();
+    if labels.len() != 34 {
+        return None;
+    }
+    if !labels[32].as_str().eq_ignore_ascii_case("ip6")
+        || !labels[33].as_str().eq_ignore_ascii_case("arpa")
+    {
+        return None;
+    }
+    let mut octets = [0u8; 16];
+    for i in 0..32 {
+        let s = labels[i].as_str();
+        if s.len() != 1 {
+            return None;
+        }
+        let nibble = s.chars().next()?.to_digit(16)? as u8;
+        // Label i is nibble 31-i of the address (low nibble first).
+        let pos = 31 - i;
+        let byte = pos / 2;
+        if pos % 2 == 1 {
+            octets[byte] |= nibble; // low nibble of the byte
+        } else {
+            octets[byte] |= nibble << 4; // high nibble
+        }
+    }
+    Some(Ipv6Addr::from(octets))
+}
+
+/// A delegated slice of the reverse tree: all reverse names for addresses
+/// inside an IPv4 prefix with length 0, 8, 16, or 24.
+///
+/// These are the only prefix lengths that map onto whole-label boundaries
+/// in `in-addr.arpa`, and the only delegations the simulated hierarchy
+/// uses: the root effectively serves `/0` (i.e. `in-addr.arpa` itself), a
+/// national registry a set of `/8`s or `/16`s, and a final authority the
+/// `/24` (or `/16`) enclosing the originator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReverseZone {
+    prefix: Ipv4Addr,
+    plen: u8,
+}
+
+impl ReverseZone {
+    /// Create a zone for `prefix/plen`. `plen` must be 0, 8, 16, or 24;
+    /// host bits of `prefix` below the prefix length are cleared.
+    pub fn new(prefix: Ipv4Addr, plen: u8) -> Option<Self> {
+        if !matches!(plen, 0 | 8 | 16 | 24) {
+            return None;
+        }
+        let raw = u32::from(prefix);
+        let mask = if plen == 0 { 0 } else { u32::MAX << (32 - plen) };
+        Some(ReverseZone { prefix: Ipv4Addr::from(raw & mask), plen: plen as u8 })
+    }
+
+    /// The whole reverse tree (`in-addr.arpa`), which the root serves.
+    pub fn whole_tree() -> Self {
+        ReverseZone { prefix: Ipv4Addr::UNSPECIFIED, plen: 0 }
+    }
+
+    /// The covering prefix address.
+    pub fn prefix(&self) -> Ipv4Addr {
+        self.prefix
+    }
+
+    /// The prefix length (0, 8, 16, or 24).
+    pub fn plen(&self) -> u8 {
+        self.plen
+    }
+
+    /// Does this zone cover `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        if self.plen == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.plen as u32);
+        (u32::from(addr) & mask) == u32::from(self.prefix)
+    }
+
+    /// Is `other` a (non-strict) sub-zone of `self`?
+    pub fn covers_zone(&self, other: &ReverseZone) -> bool {
+        self.plen <= other.plen && self.contains(other.prefix)
+    }
+
+    /// The zone apex as a domain name, e.g. `2.0.192.in-addr.arpa` for
+    /// `192.0.2.0/24`, or `in-addr.arpa` for `/0`.
+    pub fn zone_name(&self) -> DomainName {
+        let o = self.prefix.octets();
+        let mut labels: Vec<Label> = Vec::new();
+        let significant = (self.plen / 8) as usize;
+        for i in (0..significant).rev() {
+            labels.push(Label::new(&o[i].to_string()).expect("octet label"));
+        }
+        labels.push(Label::new("in-addr").expect("in-addr"));
+        labels.push(Label::new("arpa").expect("arpa"));
+        DomainName::from_labels(labels).expect("zone name fits")
+    }
+}
+
+impl fmt::Display for ReverseZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.prefix, self.plen)
+    }
+}
+
+impl FromStr for ReverseZone {
+    type Err = String;
+    /// Parse `"192.0.2.0/24"` notation.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (p, l) = s.split_once('/').ok_or_else(|| format!("missing '/' in {s:?}"))?;
+        let prefix: Ipv4Addr = p.parse().map_err(|e| format!("bad prefix: {e}"))?;
+        let plen: u8 = l.parse().map_err(|e| format!("bad plen: {e}"))?;
+        ReverseZone::new(prefix, plen).ok_or_else(|| format!("plen {plen} not in {{0,8,16,24}}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_name_matches_paper_example() {
+        // Figure 1 of the paper: originator 1.2.3.4 → PTR? 4.3.2.1.in-addr.arpa
+        let n = reverse_name(Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(n.to_string(), "4.3.2.1.in-addr.arpa");
+    }
+
+    #[test]
+    fn reverse_round_trip() {
+        for addr in [
+            Ipv4Addr::new(0, 0, 0, 0),
+            Ipv4Addr::new(255, 255, 255, 255),
+            Ipv4Addr::new(192, 0, 2, 77),
+            Ipv4Addr::new(10, 20, 30, 40),
+        ] {
+            assert_eq!(parse_reverse_v4(&reverse_name(addr)), Some(addr));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_reverse_names() {
+        for s in [
+            "mail.example.com",
+            "4.3.2.1.in-addr.arpa.extra",    // too deep — parses as 7 labels
+            "3.2.1.in-addr.arpa",            // partial (zone apex, not a host)
+            "256.3.2.1.in-addr.arpa",        // octet out of range
+            "04.3.2.1.in-addr.arpa",         // leading zero
+            "x.3.2.1.in-addr.arpa",          // non-numeric
+            "4.3.2.1.ip6.arpa",              // wrong tree
+        ] {
+            let n = DomainName::parse(s).unwrap();
+            assert_eq!(parse_reverse_v4(&n), None, "should reject {s}");
+        }
+    }
+
+    #[test]
+    fn reverse_v6_matches_rfc3596_example() {
+        // RFC 3596 §2.5's worked example.
+        let addr: Ipv6Addr = "4321:0:1:2:3:4:567:89ab".parse().unwrap();
+        assert_eq!(
+            reverse_name_v6(addr).to_string(),
+            "b.a.9.8.7.6.5.0.4.0.0.0.3.0.0.0.2.0.0.0.1.0.0.0.0.0.0.0.1.2.3.4.ip6.arpa"
+        );
+    }
+
+    #[test]
+    fn reverse_v6_round_trips() {
+        for s in ["::", "::1", "2001:db8::1", "fe80::dead:beef", "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"] {
+            let addr: Ipv6Addr = s.parse().unwrap();
+            assert_eq!(parse_reverse_v6(&reverse_name_v6(addr)), Some(addr), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_v6_rejects_malformed() {
+        for s in [
+            "b.a.9.8.ip6.arpa",                      // too short
+            "4.3.2.1.in-addr.arpa",                  // wrong tree
+            "mail.example.com",
+        ] {
+            let n = DomainName::parse(s).unwrap();
+            assert_eq!(parse_reverse_v6(&n), None, "{s}");
+        }
+        // Non-hex nibble.
+        let mut labels = "z".to_string();
+        for _ in 0..31 {
+            labels.push_str(".0");
+        }
+        labels.push_str(".ip6.arpa");
+        let n = DomainName::parse(&labels).unwrap();
+        assert_eq!(parse_reverse_v6(&n), None);
+    }
+
+    #[test]
+    fn zone_apex_names() {
+        let z24 = ReverseZone::new(Ipv4Addr::new(192, 0, 2, 9), 24).unwrap();
+        assert_eq!(z24.zone_name().to_string(), "2.0.192.in-addr.arpa");
+        assert_eq!(z24.prefix(), Ipv4Addr::new(192, 0, 2, 0));
+        let z8 = ReverseZone::new(Ipv4Addr::new(10, 1, 2, 3), 8).unwrap();
+        assert_eq!(z8.zone_name().to_string(), "10.in-addr.arpa");
+        assert_eq!(ReverseZone::whole_tree().zone_name().to_string(), "in-addr.arpa");
+    }
+
+    #[test]
+    fn zone_containment() {
+        let z16 = ReverseZone::new(Ipv4Addr::new(172, 16, 0, 0), 16).unwrap();
+        assert!(z16.contains(Ipv4Addr::new(172, 16, 200, 1)));
+        assert!(!z16.contains(Ipv4Addr::new(172, 17, 0, 1)));
+        let z24 = ReverseZone::new(Ipv4Addr::new(172, 16, 5, 0), 24).unwrap();
+        assert!(z16.covers_zone(&z24));
+        assert!(!z24.covers_zone(&z16));
+        assert!(ReverseZone::whole_tree().covers_zone(&z16));
+    }
+
+    #[test]
+    fn invalid_plens_rejected() {
+        for plen in [1, 7, 9, 23, 25, 32, 33] {
+            assert!(ReverseZone::new(Ipv4Addr::new(1, 2, 3, 4), plen).is_none(), "plen {plen}");
+        }
+    }
+
+    #[test]
+    fn zone_parse_display_round_trip() {
+        let z: ReverseZone = "192.0.2.0/24".parse().unwrap();
+        assert_eq!(z.to_string(), "192.0.2.0/24");
+        assert!("192.0.2.0/20".parse::<ReverseZone>().is_err());
+        assert!("banana/24".parse::<ReverseZone>().is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the DNS substrate.
+
+use bs_dns::message::{Message, QType, Rcode, RecordData, ResourceRecord};
+use bs_dns::name::{DomainName, Label};
+use bs_dns::reverse::{parse_reverse_v4, reverse_name, ReverseZone};
+use bs_dns::{Cache, CacheConfig, CacheOutcome, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9_-]{0,20}[a-z0-9])?").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec(arb_label(), 0..6).prop_map(|labels| {
+        let labels = labels.into_iter().map(|l| Label::new(&l).unwrap()).collect();
+        DomainName::from_labels(labels).unwrap()
+    })
+}
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    /// reverse_name is a left inverse of parse_reverse_v4 for every address.
+    #[test]
+    fn reverse_name_round_trips(addr in arb_addr()) {
+        prop_assert_eq!(parse_reverse_v4(&reverse_name(addr)), Some(addr));
+    }
+
+    /// IPv6 reverse names round-trip for every address.
+    #[test]
+    fn reverse_v6_round_trips(raw in any::<u128>()) {
+        let addr = std::net::Ipv6Addr::from(raw);
+        prop_assert_eq!(
+            bs_dns::reverse::parse_reverse_v6(&bs_dns::reverse::reverse_name_v6(addr)),
+            Some(addr)
+        );
+    }
+
+    /// Name parse/display round-trips for arbitrary valid names.
+    #[test]
+    fn name_display_parse_round_trips(name in arb_name()) {
+        let s = name.to_string();
+        prop_assert_eq!(DomainName::parse(&s).unwrap(), name);
+    }
+
+    /// Every name is a subdomain of each of its ancestors.
+    #[test]
+    fn ancestors_contain_name(name in arb_name()) {
+        let mut anc = Some(name.clone());
+        while let Some(a) = anc {
+            prop_assert!(name.is_subdomain_of(&a));
+            anc = a.parent();
+        }
+    }
+
+    /// Wire round-trip for arbitrary PTR queries.
+    #[test]
+    fn query_wire_round_trips(addr in arb_addr(), id in any::<u16>()) {
+        let q = Message::query(id, reverse_name(addr), QType::Ptr);
+        let decoded = Message::decode(&q.encode()).unwrap();
+        prop_assert_eq!(decoded, q);
+    }
+
+    /// Wire round-trip for responses carrying PTR answers with arbitrary
+    /// targets and TTLs.
+    #[test]
+    fn response_wire_round_trips(
+        addr in arb_addr(),
+        target in arb_name(),
+        ttl in any::<u32>(),
+        nx in any::<bool>(),
+    ) {
+        let q = Message::query(7, reverse_name(addr), QType::Ptr);
+        let answers = if nx {
+            vec![]
+        } else {
+            vec![ResourceRecord { name: q.questions[0].qname.clone(), ttl, data: RecordData::Ptr(target) }]
+        };
+        let rcode = if nx { Rcode::NxDomain } else { Rcode::NoError };
+        let r = Message::response(&q, rcode, answers);
+        let decoded = Message::decode(&r.encode()).unwrap();
+        prop_assert_eq!(decoded, r);
+    }
+
+    /// The decoder never panics on arbitrary byte soup.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// A cache never serves an entry at or past its expiry, and always
+    /// serves it before.
+    #[test]
+    fn cache_respects_ttl(addr in arb_addr(), ttl in 1u32..10_000, probe in 0u64..20_000) {
+        let mut c = Cache::new(CacheConfig::default());
+        let n = reverse_name(addr);
+        let t = DomainName::parse("x.example.com").unwrap();
+        c.insert_positive(&n, QType::Ptr, t.clone(), ttl, SimTime(0));
+        let got = c.lookup(&n, QType::Ptr, SimTime(probe));
+        if probe < ttl as u64 {
+            prop_assert_eq!(got, CacheOutcome::Positive(t));
+        } else {
+            prop_assert_eq!(got, CacheOutcome::Miss);
+        }
+    }
+
+    /// Zone containment is consistent: an address is in a /24 zone iff it
+    /// shares the top three octets, and any covering zone also contains it.
+    #[test]
+    fn zone_containment_consistent(addr in arb_addr()) {
+        let z24 = ReverseZone::new(addr, 24).unwrap();
+        let z16 = ReverseZone::new(addr, 16).unwrap();
+        let z8 = ReverseZone::new(addr, 8).unwrap();
+        prop_assert!(z24.contains(addr));
+        prop_assert!(z16.contains(addr));
+        prop_assert!(z8.contains(addr));
+        prop_assert!(z8.covers_zone(&z16));
+        prop_assert!(z16.covers_zone(&z24));
+        prop_assert!(ReverseZone::whole_tree().covers_zone(&z8));
+        let o = addr.octets();
+        let sibling = Ipv4Addr::new(o[0], o[1], o[2].wrapping_add(1), o[3]);
+        prop_assert!(!z24.contains(sibling));
+    }
+}

@@ -1,0 +1,243 @@
+//! Random forests (Breiman, 2001).
+//!
+//! Bootstrap-bagged CART trees with per-split feature subsampling
+//! (√d by default) and majority voting. Feature importances are the
+//! size-weighted Gini decreases accumulated across all trees,
+//! normalized to sum to one — the quantity behind the paper's
+//! Table IV ranking ("larger Gini values indicate features with greater
+//! discriminative power").
+
+use crate::dataset::Dataset;
+use crate::tree::{CartParams, DecisionTree};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Base-tree growth controls. `max_features: None` here means
+    /// "use √d", the standard forest default.
+    pub tree: CartParams,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 100,
+            tree: CartParams {
+                max_depth: 14,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                max_features: None,
+            },
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Forest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    importances: Vec<f64>,
+}
+
+impl Forest {
+    /// Train on `data` with the given seed.
+    pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(params.n_trees >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = data.n_features();
+        let mtry = params
+            .tree
+            .max_features
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
+            .clamp(1, d.max(1));
+        let tree_params = CartParams { max_features: Some(mtry), ..params.tree.clone() };
+
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut raw = vec![0.0; d];
+        for _ in 0..params.n_trees {
+            // Bootstrap sample with replacement, same size as the data.
+            let indices: Vec<usize> =
+                (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+            let tree_seed: u64 = rng.gen();
+            let tree = DecisionTree::fit_on_indices(data, &indices, &tree_params, tree_seed);
+            for (acc, v) in raw.iter_mut().zip(tree.raw_importances()) {
+                *acc += v;
+            }
+            trees.push(tree);
+        }
+        let total: f64 = raw.iter().sum();
+        let importances = if total > 0.0 {
+            raw.iter().map(|v| v / total).collect()
+        } else {
+            raw
+        };
+        Forest { trees, n_classes: data.n_classes(), importances }
+    }
+
+    /// Predict by majority vote over the trees (ties break toward the
+    /// smaller class index, deterministically).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(x)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Normalized Gini importances (sum to 1 when any split occurred).
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Feature importances paired with names, sorted descending — the
+    /// shape of the paper's Table IV.
+    pub fn ranked_importances(&self, feature_names: &[String]) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = feature_names
+            .iter()
+            .cloned()
+            .zip(self.importances.iter().copied())
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        v
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of classes in the schema this forest was trained on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The member trees (persistence support).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Reassemble a forest from persisted parts.
+    pub(crate) fn from_parts(
+        trees: Vec<DecisionTree>,
+        n_classes: usize,
+        importances: Vec<f64>,
+    ) -> Self {
+        Forest { trees, n_classes, importances }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use rand::Rng;
+
+    /// Three Gaussian-ish blobs in 4D where only dims 0 and 1 matter.
+    fn blobs(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(
+            vec!["f0".into(), "f1".into(), "noise0".into(), "noise1".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        let centers = [(0.0, 0.0), (3.0, 0.0), (0.0, 3.0)];
+        for label in 0..3 {
+            for _ in 0..n {
+                let (cx, cy) = centers[label];
+                d.push(Sample {
+                    features: vec![
+                        cx + rng.gen_range(-0.8..0.8),
+                        cy + rng.gen_range(-0.8..0.8),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ],
+                    label,
+                });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn forest_beats_chance_on_blobs() {
+        let train = blobs(1, 60);
+        let test = blobs(2, 30);
+        let f = Forest::fit(&train, &ForestParams::default(), 7);
+        let correct = test
+            .samples
+            .iter()
+            .filter(|s| f.predict(&s.features) == s.label)
+            .count();
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn importances_concentrate_on_signal_features() {
+        let train = blobs(3, 80);
+        let f = Forest::fit(&train, &ForestParams::default(), 11);
+        let imp = f.importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9, "normalized");
+        assert!(
+            imp[0] + imp[1] > 0.75,
+            "signal features should dominate: {imp:?}"
+        );
+        let ranked = f.ranked_importances(&train.feature_names);
+        assert!(ranked[0].0 == "f0" || ranked[0].0 == "f1");
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = blobs(4, 40);
+        let f1 = Forest::fit(&train, &ForestParams::default(), 99);
+        let f2 = Forest::fit(&train, &ForestParams::default(), 99);
+        let probe = vec![1.5, 1.5, 0.0, 0.0];
+        assert_eq!(f1.predict(&probe), f2.predict(&probe));
+        assert_eq!(f1.importances(), f2.importances());
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let train = blobs(5, 40);
+        let f1 = Forest::fit(&train, &ForestParams::default(), 1);
+        let f2 = Forest::fit(&train, &ForestParams::default(), 2);
+        assert_ne!(f1.importances(), f2.importances());
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let train = blobs(6, 30);
+        let p = ForestParams { n_trees: 1, ..ForestParams::default() };
+        let f = Forest::fit(&train, &p, 0);
+        assert_eq!(f.n_trees(), 1);
+        let correct = train
+            .samples
+            .iter()
+            .filter(|s| f.predict(&s.features) == s.label)
+            .count();
+        assert!(correct * 10 > train.len() * 7);
+    }
+
+    #[test]
+    fn constant_data_has_zero_importances() {
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]);
+        for i in 0..10 {
+            d.push(Sample { features: vec![1.0], label: i % 2 });
+        }
+        let f = Forest::fit(&d, &ForestParams { n_trees: 5, ..ForestParams::default() }, 0);
+        assert_eq!(f.importances(), &[0.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! From-scratch machine learning for the backscatter classifier.
+//!
+//! The paper classifies originators with three standard supervised
+//! learners — a CART decision tree, a random forest, and a kernel
+//! support-vector machine — and finds the forest most accurate
+//! (Table III), using its Gini importances to rank features
+//! (Table IV). No suitable pure-Rust implementations of all three exist
+//! in the sanctioned dependency set, so this crate implements them:
+//!
+//! * [`tree`] — CART with Gini impurity, depth/leaf-size controls;
+//! * [`forest`] — bagged CART ensemble with per-split feature
+//!   subsampling and accumulated, normalized Gini importances;
+//! * [`svm`] — soft-margin SMO with an RBF kernel, lifted to
+//!   multi-class by one-vs-one voting, with internal standardization;
+//! * [`metrics`] — confusion matrices and macro-averaged
+//!   accuracy/precision/recall/F1, matching the paper's definitions;
+//! * [`crossval`] — the paper's evaluation protocol: 50 repetitions of a
+//!   stratified 60/40 split, reporting means and standard deviations;
+//! * [`vote`] — majority voting over several independently-seeded fits
+//!   ("for non-deterministic algorithms we run each 10 times and take
+//!   the majority classification").
+//!
+//! Everything is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossval;
+pub mod dataset;
+pub mod forest;
+pub mod metrics;
+pub mod persist;
+pub mod svm;
+pub mod tree;
+pub mod vote;
+
+pub use crossval::{k_fold, repeated_holdout, HoldoutReport};
+pub use dataset::{Dataset, Sample};
+pub use forest::{Forest, ForestParams};
+pub use metrics::{ConfusionMatrix, Metrics};
+pub use svm::{Svm, SvmParams};
+pub use tree::{CartParams, DecisionTree};
+pub use vote::MajorityEnsemble;
+
+use serde::{Deserialize, Serialize};
+
+/// The three algorithms the paper evaluates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Classification And Regression Tree.
+    Cart(CartParams),
+    /// Random forest of CARTs.
+    RandomForest(ForestParams),
+    /// Kernel (RBF) support-vector machine, one-vs-one.
+    Svm(SvmParams),
+}
+
+impl Algorithm {
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Cart(_) => "CART",
+            Algorithm::RandomForest(_) => "RF",
+            Algorithm::Svm(_) => "SVM",
+        }
+    }
+
+    /// Train on `data` with the given seed.
+    pub fn fit(&self, data: &Dataset, seed: u64) -> Model {
+        match self {
+            Algorithm::Cart(p) => Model::Cart(DecisionTree::fit(data, p, seed)),
+            Algorithm::RandomForest(p) => Model::Forest(Forest::fit(data, p, seed)),
+            Algorithm::Svm(p) => Model::Svm(Svm::fit(data, p, seed)),
+        }
+    }
+
+    /// Whether the paper treats this algorithm as randomized (and
+    /// majority-votes over ten runs).
+    pub fn is_randomized(&self) -> bool {
+        !matches!(self, Algorithm::Cart(_))
+    }
+}
+
+/// A trained model of any of the three families.
+#[derive(Debug, Clone)]
+pub enum Model {
+    /// Trained CART.
+    Cart(DecisionTree),
+    /// Trained random forest.
+    Forest(Forest),
+    /// Trained SVM.
+    Svm(Svm),
+}
+
+impl Model {
+    /// Predict the class index for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        match self {
+            Model::Cart(m) => m.predict(x),
+            Model::Forest(m) => m.predict(x),
+            Model::Svm(m) => m.predict(x),
+        }
+    }
+
+    /// Predict class indices for many feature vectors.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}

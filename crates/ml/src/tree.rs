@@ -1,0 +1,444 @@
+//! CART decision trees (Breiman et al., 1984).
+//!
+//! Binary trees grown by exhaustive search for the split minimizing
+//! weighted Gini impurity, with the usual stopping controls. The same
+//! implementation serves stand-alone CART and the forest's base
+//! learners (which add per-split feature subsampling).
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Growth controls for a CART tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CartParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples a node must hold to be split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must receive.
+    pub min_samples_leaf: usize,
+    /// Features examined per split: `None` = all (CART);
+    /// `Some(k)` = a random subset of k (random-forest mode).
+    pub max_features: Option<usize>,
+}
+
+impl Default for CartParams {
+    fn default() -> Self {
+        CartParams {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_classes: usize,
+    n_features: usize,
+    /// Total Gini-impurity decrease attributed to each feature during
+    /// growth (unnormalized). The forest aggregates these into the
+    /// importances of the paper's Table IV.
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Grow a tree on `data`. The seed only matters when
+    /// `max_features` subsampling is active.
+    pub fn fit(data: &Dataset, params: &CartParams, seed: u64) -> Self {
+        Self::fit_on_indices(data, &(0..data.len()).collect::<Vec<_>>(), params, seed)
+    }
+
+    /// Grow on a subset of sample indices (bootstrap support for the
+    /// forest).
+    pub fn fit_on_indices(
+        data: &Dataset,
+        indices: &[usize],
+        params: &CartParams,
+        seed: u64,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        assert!(data.n_classes() >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut importances = vec![0.0; data.n_features()];
+        let root = grow(
+            data,
+            indices.to_vec(),
+            params,
+            0,
+            &mut rng,
+            &mut importances,
+        );
+        DecisionTree {
+            root,
+            n_classes: data.n_classes(),
+            n_features: data.n_features(),
+            importances,
+        }
+    }
+
+    /// Predict the class of one feature vector.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.n_features, "feature arity mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Raw (unnormalized) per-feature impurity decreases.
+    pub fn raw_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Tree depth (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        fn l(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => l(left) + l(right),
+            }
+        }
+        l(&self.root)
+    }
+
+    /// Write the tree's nodes in pre-order (`S <feature> <threshold>` /
+    /// `L <class>` lines) for the persistence format.
+    pub(crate) fn write_nodes(&self, out: &mut String) {
+        fn rec(n: &Node, out: &mut String) {
+            match n {
+                Node::Leaf { class } => out.push_str(&format!("L {class}\n")),
+                Node::Split { feature, threshold, left, right } => {
+                    out.push_str(&format!("S {feature} {:x}\n", threshold.to_bits()));
+                    rec(left, out);
+                    rec(right, out);
+                }
+            }
+        }
+        rec(&self.root, out);
+    }
+
+    /// Rebuild a tree from pre-order node lines (persistence format).
+    /// Raw importances are not persisted per tree (the forest stores the
+    /// aggregate), so they reload as zeros.
+    pub(crate) fn read_nodes<'a>(
+        lines: &mut impl Iterator<Item = (usize, &'a str)>,
+        n_classes: usize,
+        n_features: usize,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        fn rec<'a>(
+            lines: &mut impl Iterator<Item = (usize, &'a str)>,
+            n_classes: usize,
+            n_features: usize,
+            depth: usize,
+        ) -> Result<Node, PersistError> {
+            let e = |line: usize, what: String| PersistError { line, what };
+            if depth > 64 {
+                return Err(e(0, "tree deeper than 64: refusing".to_string()));
+            }
+            let (ln, line) = lines
+                .next()
+                .ok_or_else(|| e(0, "unexpected end of input in tree".to_string()))?;
+            let mut f = line.split_whitespace();
+            match f.next() {
+                Some("L") => {
+                    let class: usize = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| e(ln, format!("bad leaf {line:?}")))?;
+                    if class >= n_classes {
+                        return Err(e(ln, format!("leaf class {class} out of range")));
+                    }
+                    Ok(Node::Leaf { class })
+                }
+                Some("S") => {
+                    let feature: usize = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| e(ln, format!("bad split {line:?}")))?;
+                    if feature >= n_features {
+                        return Err(e(ln, format!("split feature {feature} out of range")));
+                    }
+                    let threshold = f
+                        .next()
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .map(f64::from_bits)
+                        .ok_or_else(|| e(ln, format!("bad threshold in {line:?}")))?;
+                    let left = rec(lines, n_classes, n_features, depth + 1)?;
+                    let right = rec(lines, n_classes, n_features, depth + 1)?;
+                    Ok(Node::Split {
+                        feature,
+                        threshold,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    })
+                }
+                _ => Err(e(ln, format!("expected node line, got {line:?}"))),
+            }
+        }
+        let root = rec(lines, n_classes, n_features, 0)?;
+        Ok(DecisionTree { root, n_classes, n_features, importances: vec![0.0; n_features] })
+    }
+}
+
+/// Gini impurity of a class histogram.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn grow(
+    data: &Dataset,
+    indices: Vec<usize>,
+    params: &CartParams,
+    depth: usize,
+    rng: &mut StdRng,
+    importances: &mut [f64],
+) -> Node {
+    let mut counts = vec![0usize; data.n_classes()];
+    for &i in &indices {
+        counts[data.samples[i].label] += 1;
+    }
+    let node_gini = gini(&counts, indices.len());
+    let stop = depth >= params.max_depth
+        || indices.len() < params.min_samples_split
+        || node_gini == 0.0;
+    if stop {
+        return Node::Leaf { class: majority(&counts) };
+    }
+
+    // Candidate features (possibly a random subset).
+    let mut features: Vec<usize> = (0..data.n_features()).collect();
+    if let Some(k) = params.max_features {
+        features.shuffle(rng);
+        features.truncate(k.max(1).min(data.n_features()));
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+    let n = indices.len() as f64;
+    let mut sorted = indices.clone();
+    for &f in &features {
+        // Sort once per feature; sweep thresholds between distinct values.
+        sorted.sort_by(|&a, &b| {
+            data.samples[a].features[f]
+                .partial_cmp(&data.samples[b].features[f])
+                .expect("finite features")
+        });
+        let mut left_counts = vec![0usize; data.n_classes()];
+        let mut right_counts = counts.clone();
+        for k in 0..sorted.len() - 1 {
+            let label = data.samples[sorted[k]].label;
+            left_counts[label] += 1;
+            right_counts[label] -= 1;
+            let v = data.samples[sorted[k]].features[f];
+            let v_next = data.samples[sorted[k + 1]].features[f];
+            if v == v_next {
+                continue; // can't split between equal values
+            }
+            let n_left = k + 1;
+            let n_right = sorted.len() - n_left;
+            if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
+                continue;
+            }
+            let w = (n_left as f64 / n) * gini(&left_counts, n_left)
+                + (n_right as f64 / n) * gini(&right_counts, n_right);
+            if best.map(|(_, _, bw)| w < bw).unwrap_or(true) {
+                best = Some((f, (v + v_next) / 2.0, w));
+            }
+        }
+    }
+
+    // Accept zero-improvement splits (like scikit-learn): XOR-style
+    // structure yields no first-level Gini gain, yet splitting still
+    // makes progress because both children are strictly smaller.
+    match best {
+        Some((feature, threshold, w)) if w <= node_gini + 1e-12 => {
+            // Importance: impurity decrease weighted by node size.
+            importances[feature] += (node_gini - w) * n;
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .into_iter()
+                .partition(|&i| data.samples[i].features[feature] <= threshold);
+            let left = grow(data, left_idx, params, depth + 1, rng, importances);
+            let right = grow(data, right_idx, params, depth + 1, rng, importances);
+            Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        }
+        _ => Node::Leaf { class: majority(&counts) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+
+    fn two_blob_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], vec!["lo".into(), "hi".into()]);
+        for i in 0..20 {
+            d.push(Sample { features: vec![i as f64 * 0.01, 0.3], label: 0 });
+            d.push(Sample { features: vec![1.0 + i as f64 * 0.01, 0.7], label: 1 });
+        }
+        d
+    }
+
+    #[test]
+    fn separable_data_classifies_perfectly() {
+        let d = two_blob_dataset();
+        let t = DecisionTree::fit(&d, &CartParams::default(), 0);
+        for s in &d.samples {
+            assert_eq!(t.predict(&s.features), s.label);
+        }
+        assert_eq!(t.depth(), 1, "one split suffices");
+        assert_eq!(t.leaves(), 2);
+    }
+
+    #[test]
+    fn importances_identify_the_informative_feature() {
+        let d = two_blob_dataset();
+        let t = DecisionTree::fit(&d, &CartParams::default(), 0);
+        let imp = t.raw_importances();
+        assert!(imp[0] > 0.0, "feature x carries all signal");
+        assert_eq!(imp[1], 0.0, "feature y is constant-ish and unused");
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let mut d = Dataset::new(vec!["x".into()], vec!["only".into()]);
+        for i in 0..10 {
+            d.push(Sample { features: vec![i as f64], label: 0 });
+        }
+        let t = DecisionTree::fit(&d, &CartParams::default(), 0);
+        assert_eq!(t.leaves(), 1);
+        assert_eq!(t.predict(&[3.0]), 0);
+    }
+
+    #[test]
+    fn max_depth_zero_yields_majority_stump() {
+        let mut d = two_blob_dataset();
+        // Unbalance it: add extra class-1 samples.
+        for i in 0..10 {
+            d.push(Sample { features: vec![2.0 + i as f64, 0.5], label: 1 });
+        }
+        let p = CartParams { max_depth: 0, ..CartParams::default() };
+        let t = DecisionTree::fit(&d, &p, 0);
+        assert_eq!(t.leaves(), 1);
+        assert_eq!(t.predict(&[0.0, 0.3]), 1, "majority class wins");
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let d = two_blob_dataset();
+        let p = CartParams { min_samples_leaf: 25, ..CartParams::default() };
+        let t = DecisionTree::fit(&d, &p, 0);
+        // 40 samples, each child would need ≥25: impossible, so no split.
+        assert_eq!(t.leaves(), 1);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], vec!["zero".into(), "one".into()]);
+        for (a, b, l) in [(0.0, 0.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1), (1.0, 1.0, 0)] {
+            for _ in 0..5 {
+                d.push(Sample { features: vec![a, b], label: l });
+            }
+        }
+        let p = CartParams { min_samples_split: 2, ..CartParams::default() };
+        let t = DecisionTree::fit(&d, &p, 0);
+        for s in &d.samples {
+            assert_eq!(t.predict(&s.features), s.label);
+        }
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        // All x equal: no split possible on x; tree must fall back to leaf.
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]);
+        for i in 0..10 {
+            d.push(Sample { features: vec![5.0], label: i % 2 });
+        }
+        let t = DecisionTree::fit(&d, &CartParams::default(), 0);
+        assert_eq!(t.leaves(), 1);
+    }
+
+    #[test]
+    fn feature_subsampling_is_seed_deterministic() {
+        let d = two_blob_dataset();
+        let p = CartParams { max_features: Some(1), ..CartParams::default() };
+        let t1 = DecisionTree::fit(&d, &p, 9);
+        let t2 = DecisionTree::fit(&d, &p, 9);
+        for s in &d.samples {
+            assert_eq!(t1.predict(&s.features), t2.predict(&s.features));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn predict_checks_arity() {
+        let d = two_blob_dataset();
+        let t = DecisionTree::fit(&d, &CartParams::default(), 0);
+        t.predict(&[1.0]);
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[], 0), 0.0);
+        let g = gini(&[3, 3, 3], 9);
+        assert!((g - (1.0 - 3.0 * (1.0 / 9.0))).abs() < 1e-12);
+    }
+}

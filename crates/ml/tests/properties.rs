@@ -1,0 +1,95 @@
+//! Property-based tests for the ML crate.
+
+use bs_ml::dataset::{Dataset, Sample};
+use bs_ml::forest::{Forest, ForestParams};
+use bs_ml::metrics::ConfusionMatrix;
+use bs_ml::tree::{CartParams, DecisionTree};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // 2–4 classes, 2–5 features, 10–60 samples with finite values.
+    (2usize..=4, 2usize..=5).prop_flat_map(|(n_classes, n_features)| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(-100.0f64..100.0, n_features),
+                0usize..n_classes,
+            ),
+            10..60,
+        )
+        .prop_map(move |rows| {
+            let mut d = Dataset::new(
+                (0..n_features).map(|i| format!("f{i}")).collect(),
+                (0..n_classes).map(|i| format!("c{i}")).collect(),
+            );
+            for (features, label) in rows {
+                d.push(Sample { features, label });
+            }
+            d
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A tree always predicts a class that exists in its training data.
+    #[test]
+    fn tree_predicts_seen_classes(d in arb_dataset(), probe in proptest::collection::vec(-200.0f64..200.0, 5)) {
+        let t = DecisionTree::fit(&d, &CartParams::default(), 0);
+        let x: Vec<f64> = probe.iter().copied().take(d.n_features()).collect();
+        if x.len() == d.n_features() {
+            let pred = t.predict(&x);
+            prop_assert!(d.present_classes().contains(&pred));
+        }
+    }
+
+    /// Training accuracy of an unconstrained tree is at least as good as
+    /// always guessing the majority class.
+    #[test]
+    fn tree_beats_or_ties_majority_on_training_data(d in arb_dataset()) {
+        let params = CartParams { max_depth: 30, min_samples_split: 2, ..CartParams::default() };
+        let t = DecisionTree::fit(&d, &params, 0);
+        let correct = d.samples.iter().filter(|s| t.predict(&s.features) == s.label).count();
+        let majority = d.class_counts().into_iter().max().unwrap_or(0);
+        prop_assert!(correct >= majority, "correct={correct} majority={majority}");
+    }
+
+    /// Forest importances are a probability vector (or all zero).
+    #[test]
+    fn forest_importances_normalized(d in arb_dataset()) {
+        let f = Forest::fit(&d, &ForestParams { n_trees: 10, ..Default::default() }, 1);
+        let sum: f64 = f.importances().iter().sum();
+        prop_assert!(f.importances().iter().all(|v| *v >= 0.0));
+        prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9, "sum={sum}");
+    }
+
+    /// Metrics always land in [0, 1] and accuracy matches the diagonal.
+    #[test]
+    fn metrics_bounds(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..100)
+    ) {
+        let truth: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let pred: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let cm = ConfusionMatrix::from_predictions(4, &truth, &pred);
+        let m = cm.metrics();
+        for v in [m.accuracy, m.precision, m.recall, m.f1] {
+            prop_assert!((0.0..=1.0).contains(&v), "{m:?}");
+        }
+        let diag: usize = (0..4).map(|c| cm.tp(c)).sum();
+        prop_assert!((m.accuracy - diag as f64 / pairs.len() as f64).abs() < 1e-12);
+    }
+
+    /// Stratified splits partition the dataset exactly.
+    #[test]
+    fn split_partitions(d in arb_dataset(), seed in any::<u64>()) {
+        let (train, test) = d.stratified_split(0.6, seed);
+        prop_assert_eq!(train.len() + test.len(), d.len());
+        // Per-class totals preserved.
+        let tc = train.class_counts();
+        let sc = test.class_counts();
+        let dc = d.class_counts();
+        for c in 0..d.n_classes() {
+            prop_assert_eq!(tc[c] + sc[c], dc[c]);
+        }
+    }
+}

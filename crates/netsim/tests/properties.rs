@@ -1,0 +1,105 @@
+//! Property-based tests for the world model and simulator.
+
+use bs_dns::SimTime;
+use bs_netsim::det::mix64;
+use bs_netsim::hierarchy::AuthorityId;
+use bs_netsim::types::{Contact, ContactKind};
+use bs_netsim::world::{World, WorldConfig};
+use bs_netsim::{Simulator, SimulatorConfig};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn world() -> World {
+    World::new(WorldConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every world fact is self-consistent at any address: roles imply
+    /// existence, shared resolvers live in usable space, AS implies
+    /// country.
+    #[test]
+    fn world_facts_are_consistent(raw in any::<u32>()) {
+        let w = world();
+        let addr = Ipv4Addr::from(raw);
+        if w.host_role(addr).is_some() {
+            prop_assert!(w.host_exists(addr));
+        }
+        if w.as_of(addr).is_some() {
+            prop_assert!(w.country_of(addr).is_some());
+        }
+        if w.country_of(addr).is_some() {
+            let r = w.shared_resolver_for(addr);
+            prop_assert!(w.country_of(r.0).is_some(), "resolver in unusable space: {r}");
+            let o = r.0.octets();
+            prop_assert_eq!(o[2], 0);
+            prop_assert!((10..14).contains(&o[3]));
+        }
+    }
+
+    /// Reactions are deterministic and independent of contact time.
+    #[test]
+    fn reactions_deterministic(orig in any::<u32>(), target in any::<u32>(), t in 0u64..1_000_000) {
+        let w = world();
+        let mk = |time| Contact {
+            time: SimTime(time),
+            originator: Ipv4Addr::from(orig),
+            target: Ipv4Addr::from(target),
+            kind: ContactKind::ProbeTcp(22),
+        };
+        prop_assert_eq!(w.reactions(&mk(t)), w.reactions(&mk(0)));
+    }
+
+    /// The simulator never logs at unobserved authorities, and observed
+    /// logs stay within the contact time range.
+    #[test]
+    fn simulator_logs_are_scoped(seeds in proptest::collection::vec(any::<u64>(), 1..60)) {
+        let w = world();
+        let jp = bs_netsim::types::CountryCode::new("jp").unwrap();
+        let observed = AuthorityId::National(jp);
+        let mut sim = Simulator::new(&w, SimulatorConfig::observing([observed]));
+        let mut max_t = 0;
+        for (i, s) in seeds.iter().enumerate() {
+            let t = (i as u64) * 60;
+            max_t = t;
+            sim.contact(Contact {
+                time: SimTime(t),
+                originator: w.random_public_addr(*s),
+                target: w.random_public_addr(mix64(*s)),
+                kind: ContactKind::Smtp,
+            });
+        }
+        let logs = sim.into_logs();
+        prop_assert_eq!(logs.len(), 1);
+        for r in logs[&observed].records() {
+            prop_assert!(r.time.secs() <= max_t);
+            // National(jp) only ever sees JP-space originators.
+            prop_assert_eq!(w.country_of(r.originator), Some(jp));
+        }
+    }
+
+    /// Processing the same contacts twice through fresh simulators
+    /// yields identical logs (full determinism).
+    #[test]
+    fn simulation_is_reproducible(seeds in proptest::collection::vec(any::<u64>(), 1..40)) {
+        let w = world();
+        let observed = AuthorityId::final_for(Ipv4Addr::new(203, 0, 113, 9));
+        let contacts: Vec<Contact> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Contact {
+                time: SimTime(i as u64),
+                originator: Ipv4Addr::new(203, 0, 113, 9),
+                target: w.random_public_addr(*s),
+                kind: ContactKind::ProbeIcmp,
+            })
+            .collect();
+        let run = |contacts: &[Contact]| {
+            let mut sim = Simulator::new(&w, SimulatorConfig::observing([observed]));
+            sim.process(contacts.iter().copied());
+            sim.into_logs()
+        };
+        prop_assert_eq!(run(&contacts), run(&contacts));
+    }
+}

@@ -1,0 +1,269 @@
+//! Dynamic features: temporal and spatial structure of the queriers
+//! (paper §III-C).
+//!
+//! * **queries per querier** — mean deduplicated queries per unique
+//!   querier, a caching-blurred proxy for originator rate;
+//! * **persistence** — fraction of the window's 10-minute periods in
+//!   which the originator appears (the paper counts raw periods; we
+//!   normalize by window length so feature values are comparable across
+//!   the 36-hour, 50-hour and 7-day windows — documented deviation);
+//! * **local entropy** — Shannon entropy of querier /24 prefixes,
+//!   normalized to `[0, 1]`;
+//! * **global entropy** — Shannon entropy of querier /8 prefixes over
+//!   the 256-way /8 alphabet (geographically meaningful because /8s are
+//!   assigned by region);
+//! * **AS/country ratios** — unique querier ASes (countries) divided by
+//!   all ASes (countries) seen in the whole window;
+//! * **countries (ASes) per querier** — geographic spread normalized by
+//!   footprint.
+
+use crate::ingest::OriginatorObservation;
+use crate::QuerierInfo;
+use bs_dns::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Length of a persistence period in seconds (paper: 10 minutes).
+pub const PERSISTENCE_PERIOD: u64 = 600;
+
+/// The eight dynamic features of one originator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DynamicFeatures {
+    /// Mean deduplicated queries per unique querier (≥ 1).
+    pub queries_per_querier: f64,
+    /// Fraction of 10-minute periods containing the originator.
+    pub persistence: f64,
+    /// Normalized entropy of querier /24 prefixes.
+    pub local_entropy: f64,
+    /// Normalized entropy of querier /8 prefixes.
+    pub global_entropy: f64,
+    /// Unique querier ASes / total window ASes.
+    pub as_ratio: f64,
+    /// Unique querier countries / total window countries.
+    pub country_ratio: f64,
+    /// Unique countries per unique querier.
+    pub countries_per_querier: f64,
+    /// Unique ASes per unique querier.
+    pub ases_per_querier: f64,
+}
+
+impl DynamicFeatures {
+    /// Feature names in vector order.
+    pub fn names() -> [&'static str; 8] {
+        [
+            "queries-per-querier",
+            "persistence",
+            "local-entropy",
+            "global-entropy",
+            "as-ratio",
+            "country-ratio",
+            "countries-per-querier",
+            "ases-per-querier",
+        ]
+    }
+
+    /// As a fixed-order vector.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![
+            self.queries_per_querier,
+            self.persistence,
+            self.local_entropy,
+            self.global_entropy,
+            self.as_ratio,
+            self.country_ratio,
+            self.countries_per_querier,
+            self.ases_per_querier,
+        ]
+    }
+
+    /// Compute the features for one originator.
+    ///
+    /// `total_ases` / `total_countries` are window-global totals (see
+    /// [`crate::Observations::total_ases`]).
+    pub fn compute(
+        obs: &OriginatorObservation,
+        info: &impl QuerierInfo,
+        window_start: SimTime,
+        window_end: SimTime,
+        total_ases: usize,
+        total_countries: usize,
+    ) -> Self {
+        let nq = obs.querier_count();
+        if nq == 0 {
+            return DynamicFeatures::default();
+        }
+
+        // Temporal.
+        let queries_per_querier = obs.query_count() as f64 / nq as f64;
+        let total_periods = ((window_end.secs().saturating_sub(window_start.secs()))
+            .div_ceil(PERSISTENCE_PERIOD))
+        .max(1);
+        let active_periods: BTreeSet<u64> = obs
+            .queries
+            .iter()
+            .map(|(t, _)| (t.secs() - window_start.secs()) / PERSISTENCE_PERIOD)
+            .collect();
+        let persistence = active_periods.len() as f64 / total_periods as f64;
+
+        // Spatial.
+        let slash24s: Vec<u32> = obs.queriers.iter().map(|q| u32::from(*q) >> 8).collect();
+        let slash8s: Vec<u32> = obs.queriers.iter().map(|q| u32::from(*q) >> 24).collect();
+        let local_entropy = normalized_entropy(&slash24s, nq as f64);
+        let global_entropy = normalized_entropy(&slash8s, 256.0);
+
+        let ases: BTreeSet<_> = obs.queriers.iter().filter_map(|q| info.querier_as(*q)).collect();
+        let countries: BTreeSet<_> =
+            obs.queriers.iter().filter_map(|q| info.querier_country(*q)).collect();
+        let ratio = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+
+        DynamicFeatures {
+            queries_per_querier,
+            persistence,
+            local_entropy,
+            global_entropy,
+            as_ratio: ratio(ases.len(), total_ases),
+            country_ratio: ratio(countries.len(), total_countries),
+            countries_per_querier: countries.len() as f64 / nq as f64,
+            ases_per_querier: ases.len() as f64 / nq as f64,
+        }
+    }
+}
+
+/// Shannon entropy of the value histogram, normalized by `ln(alphabet)`
+/// so results land in `[0, 1]`. `alphabet` is the size of the
+/// meaningful value space (number of queriers for /24s, 256 for /8s).
+fn normalized_entropy(values: &[u32], alphabet: f64) -> f64 {
+    if values.len() <= 1 || alphabet <= 1.0 {
+        return 0.0;
+    }
+    use std::collections::BTreeMap;
+    let mut hist: BTreeMap<u32, usize> = BTreeMap::new();
+    for v in values {
+        *hist.entry(*v).or_default() += 1;
+    }
+    let n = values.len() as f64;
+    let h: f64 = hist
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    (h / alphabet.ln()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_netsim::types::{AsId, CountryCode, NameOutcome};
+    use std::net::Ipv4Addr;
+
+    /// Toy metadata: AS = second octet, country = first octet parity.
+    struct ToyInfo;
+    impl QuerierInfo for ToyInfo {
+        fn querier_name(&self, _addr: Ipv4Addr) -> NameOutcome {
+            NameOutcome::NxDomain
+        }
+        fn querier_as(&self, addr: Ipv4Addr) -> Option<AsId> {
+            Some(AsId(addr.octets()[1] as u32))
+        }
+        fn querier_country(&self, addr: Ipv4Addr) -> Option<CountryCode> {
+            Some(if addr.octets()[0] % 2 == 0 {
+                CountryCode::new("us").unwrap()
+            } else {
+                CountryCode::new("jp").unwrap()
+            })
+        }
+    }
+
+    fn obs(queries: &[(u64, &str)]) -> OriginatorObservation {
+        let mut o = OriginatorObservation {
+            originator: "203.0.113.9".parse().unwrap(),
+            ..Default::default()
+        };
+        for (t, q) in queries {
+            let qa: Ipv4Addr = q.parse().unwrap();
+            o.queries.push((SimTime(*t), qa));
+            o.queriers.insert(qa);
+        }
+        o
+    }
+
+    #[test]
+    fn queries_per_querier_counts_repeats() {
+        let o = obs(&[
+            (0, "10.0.0.1"),
+            (100, "10.0.0.1"),
+            (200, "10.0.0.1"),
+            (0, "10.0.0.2"),
+        ]);
+        let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(0), SimTime(3600), 10, 5);
+        assert!((f.queries_per_querier - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistence_counts_ten_minute_periods() {
+        // Window of 1 hour = 6 periods; queries in periods 0, 0, 3.
+        let o = obs(&[(10, "10.0.0.1"), (50, "10.0.0.2"), (1900, "10.0.0.3")]);
+        let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(0), SimTime(3600), 10, 5);
+        assert!((f.persistence - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_entropy_zero_when_one_block_full_when_spread() {
+        // All queriers in one /24.
+        let same = obs(&[(0, "10.0.0.1"), (40, "10.0.0.2"), (80, "10.0.0.3")]);
+        let f = DynamicFeatures::compute(&same, &ToyInfo, SimTime(0), SimTime(3600), 10, 5);
+        assert_eq!(f.local_entropy, 0.0);
+        // Each querier in its own /24: entropy ln(3)/ln(3) = 1.
+        let spread = obs(&[(0, "10.0.0.1"), (40, "10.1.0.1"), (80, "10.2.0.1")]);
+        let f = DynamicFeatures::compute(&spread, &ToyInfo, SimTime(0), SimTime(3600), 10, 5);
+        assert!((f.local_entropy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_entropy_uses_slash8_alphabet() {
+        // Two /8s, evenly: H = ln 2; normalized by ln 256.
+        let o = obs(&[(0, "10.0.0.1"), (40, "11.0.0.1")]);
+        let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(0), SimTime(3600), 10, 5);
+        let expect = (2.0f64).ln() / (256.0f64).ln();
+        assert!((f.global_entropy - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geographic_ratios() {
+        // Queriers: /8s 10 (even → us) and 11 (odd → jp); ASes 0 and 1.
+        let o = obs(&[(0, "10.0.0.1"), (40, "10.1.0.1"), (80, "11.0.0.1")]);
+        let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(0), SimTime(3600), 4, 2);
+        assert!((f.as_ratio - 2.0 / 4.0).abs() < 1e-12);
+        assert!((f.country_ratio - 1.0).abs() < 1e-12);
+        assert!((f.countries_per_querier - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f.ases_per_querier - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_observation_is_all_zero() {
+        let o = OriginatorObservation {
+            originator: "203.0.113.9".parse().unwrap(),
+            ..Default::default()
+        };
+        let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(0), SimTime(3600), 4, 2);
+        assert_eq!(f, DynamicFeatures::default());
+    }
+
+    #[test]
+    fn vector_order_matches_names() {
+        let f = DynamicFeatures {
+            queries_per_querier: 1.0,
+            persistence: 2.0,
+            local_entropy: 3.0,
+            global_entropy: 4.0,
+            as_ratio: 5.0,
+            country_ratio: 6.0,
+            countries_per_querier: 7.0,
+            ases_per_querier: 8.0,
+        };
+        assert_eq!(f.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(DynamicFeatures::names().len(), 8);
+    }
+}

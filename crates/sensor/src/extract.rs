@@ -1,0 +1,200 @@
+//! End-to-end feature extraction: logs in, feature vectors out.
+
+use crate::dynamic::DynamicFeatures;
+use crate::ingest::{select_analyzable, Observations};
+use crate::static_features::{classify_querier_name, StaticFeature};
+use crate::QuerierInfo;
+use bs_dns::SimTime;
+use bs_netsim::log::QueryLog;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Extraction configuration (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Analyzability threshold on unique queriers.
+    pub min_queriers: usize,
+    /// Keep only the N originators with the most queriers.
+    pub top_n: Option<usize>,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { min_queriers: crate::ingest::MIN_QUERIERS, top_n: Some(10_000) }
+    }
+}
+
+/// A complete per-originator feature vector: 14 static fractions plus
+/// 8 dynamic features, in a fixed order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Fraction of queriers in each static category (sums to 1).
+    pub static_fractions: [f64; 14],
+    /// The dynamic features.
+    pub dynamic: DynamicFeatures,
+}
+
+impl FeatureVector {
+    /// Feature names, aligned with [`FeatureVector::to_vec`].
+    pub fn names() -> Vec<String> {
+        StaticFeature::ALL
+            .iter()
+            .map(|f| format!("static:{}", f.name()))
+            .chain(DynamicFeatures::names().iter().map(|n| format!("dyn:{n}")))
+            .collect()
+    }
+
+    /// Flatten to a 22-dimensional vector for the ML crate.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(22);
+        v.extend_from_slice(&self.static_fractions);
+        v.extend(self.dynamic.to_vec());
+        v
+    }
+
+    /// The fraction for one static category.
+    pub fn static_fraction(&self, f: StaticFeature) -> f64 {
+        self.static_fractions[f.index()]
+    }
+}
+
+/// An originator with its observed footprint and features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OriginatorFeatures {
+    /// The originator address.
+    pub originator: Ipv4Addr,
+    /// Unique queriers observed (footprint).
+    pub querier_count: usize,
+    /// Deduplicated query count.
+    pub query_count: usize,
+    /// The feature vector.
+    pub features: FeatureVector,
+}
+
+/// Extract features for every analyzable originator in `[start, end)`
+/// of `log`, ranked by footprint.
+pub fn extract_features(
+    log: &QueryLog,
+    info: &impl QuerierInfo,
+    start: SimTime,
+    end: SimTime,
+    config: &FeatureConfig,
+) -> Vec<OriginatorFeatures> {
+    let obs = Observations::ingest(log, start, end);
+    extract_from_observations(&obs, info, config)
+}
+
+/// Extraction step reusable when the caller already ingested the log.
+pub fn extract_from_observations(
+    obs: &Observations,
+    info: &impl QuerierInfo,
+    config: &FeatureConfig,
+) -> Vec<OriginatorFeatures> {
+    let total_ases = obs.total_ases(info);
+    let total_countries = obs.total_countries(info);
+    select_analyzable(obs, config.min_queriers, config.top_n)
+        .into_iter()
+        .map(|o| {
+            let mut static_counts = [0usize; 14];
+            for q in &o.queriers {
+                let f = classify_querier_name(&info.querier_name(*q));
+                static_counts[f.index()] += 1;
+            }
+            let nq = o.querier_count().max(1) as f64;
+            let mut static_fractions = [0.0; 14];
+            for (frac, count) in static_fractions.iter_mut().zip(static_counts) {
+                *frac = count as f64 / nq;
+            }
+            let dynamic = DynamicFeatures::compute(
+                o,
+                info,
+                obs.window_start,
+                obs.window_end,
+                total_ases,
+                total_countries,
+            );
+            OriginatorFeatures {
+                originator: o.originator,
+                querier_count: o.querier_count(),
+                query_count: o.query_count(),
+                features: FeatureVector { static_fractions, dynamic },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_dns::Rcode;
+    use bs_netsim::log::QueryLogRecord;
+    use bs_netsim::types::{AsId, CountryCode, NameOutcome};
+
+    struct ToyInfo;
+    impl QuerierInfo for ToyInfo {
+        fn querier_name(&self, addr: Ipv4Addr) -> NameOutcome {
+            // Even last octet: mail server; odd: no reverse name.
+            if addr.octets()[3] % 2 == 0 {
+                NameOutcome::Name(bs_dns::DomainName::parse("mail.example.com").unwrap())
+            } else {
+                NameOutcome::NxDomain
+            }
+        }
+        fn querier_as(&self, addr: Ipv4Addr) -> Option<AsId> {
+            Some(AsId(addr.octets()[1] as u32))
+        }
+        fn querier_country(&self, _addr: Ipv4Addr) -> Option<CountryCode> {
+            Some(CountryCode::new("us").unwrap())
+        }
+    }
+
+    fn make_log(n_queriers: u8) -> QueryLog {
+        let mut log = QueryLog::new();
+        for i in 0..n_queriers {
+            log.push(QueryLogRecord {
+                time: SimTime(i as u64 * 60),
+                querier: Ipv4Addr::new(10, i % 4, 0, i),
+                originator: "203.0.113.9".parse().unwrap(),
+                rcode: Rcode::NoError,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn static_fractions_sum_to_one() {
+        let log = make_log(30);
+        let config = FeatureConfig { min_queriers: 20, top_n: None };
+        let out = extract_features(&log, &ToyInfo, SimTime(0), SimTime(7200), &config);
+        assert_eq!(out.len(), 1);
+        let f = &out[0].features;
+        let sum: f64 = f.static_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Half mail, half nxdomain.
+        assert!((f.static_fraction(StaticFeature::Mail) - 0.5).abs() < 1e-12);
+        assert!((f.static_fraction(StaticFeature::NxDomain) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_filters_small_originators() {
+        let log = make_log(10);
+        let config = FeatureConfig { min_queriers: 20, top_n: None };
+        let out = extract_features(&log, &ToyInfo, SimTime(0), SimTime(7200), &config);
+        assert!(out.is_empty());
+        let lenient = FeatureConfig { min_queriers: 5, top_n: None };
+        let out = extract_features(&log, &ToyInfo, SimTime(0), SimTime(7200), &lenient);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].querier_count, 10);
+    }
+
+    #[test]
+    fn vector_has_22_dimensions_and_matching_names() {
+        let log = make_log(25);
+        let config = FeatureConfig { min_queriers: 20, top_n: None };
+        let out = extract_features(&log, &ToyInfo, SimTime(0), SimTime(7200), &config);
+        let v = out[0].features.to_vec();
+        assert_eq!(v.len(), 22);
+        assert_eq!(FeatureVector::names().len(), 22);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,252 @@
+//! Query-log ingestion and originator selection (paper §III-A, §III-B).
+
+use bs_dns::{SimDuration, SimTime};
+use bs_netsim::log::QueryLog;
+use serde::{Deserialize, Serialize};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// The deduplication window: duplicate queries from the same querier
+/// for the same originator within this span are dropped.
+pub const DEDUP_WINDOW: SimDuration = SimDuration(30);
+
+/// The analyzability threshold: originators need at least this many
+/// unique queriers to be classified.
+pub const MIN_QUERIERS: usize = 20;
+
+/// One originator's deduplicated query stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OriginatorObservation {
+    /// The originator address.
+    pub originator: Ipv4Addr,
+    /// Deduplicated queries as `(time, querier)` pairs, in time order.
+    pub queries: Vec<(SimTime, Ipv4Addr)>,
+    /// Unique querier addresses.
+    pub queriers: BTreeSet<Ipv4Addr>,
+}
+
+impl Default for OriginatorObservation {
+    fn default() -> Self {
+        OriginatorObservation {
+            originator: Ipv4Addr::UNSPECIFIED,
+            queries: Vec::new(),
+            queriers: BTreeSet::new(),
+        }
+    }
+}
+
+impl OriginatorObservation {
+    /// Total deduplicated queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Unique querier count — the originator's observed footprint.
+    pub fn querier_count(&self) -> usize {
+        self.queriers.len()
+    }
+}
+
+/// All originators observed in a window, with window-global context the
+/// dynamic features need (total ASes and countries seen).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observations {
+    /// Window start (inclusive).
+    pub window_start: SimTime,
+    /// Window end (exclusive).
+    pub window_end: SimTime,
+    /// Per-originator deduplicated streams.
+    pub per_originator: BTreeMap<Ipv4Addr, OriginatorObservation>,
+    /// All querier addresses seen in the window (across originators).
+    pub all_queriers: BTreeSet<Ipv4Addr>,
+}
+
+impl Observations {
+    /// Ingest a query log restricted to `[start, end)`, applying the
+    /// 30-second per-(originator, querier) deduplication.
+    ///
+    /// `dedup` is exposed for the ablation bench; the paper's pipeline
+    /// always passes [`DEDUP_WINDOW`].
+    pub fn ingest_with_dedup(
+        log: &QueryLog,
+        start: SimTime,
+        end: SimTime,
+        dedup: SimDuration,
+    ) -> Self {
+        let mut per_originator: BTreeMap<Ipv4Addr, OriginatorObservation> = BTreeMap::new();
+        let mut all_queriers = BTreeSet::new();
+        // Last accepted time per (originator, querier).
+        let mut last_seen: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime> = BTreeMap::new();
+        for r in log.records() {
+            if r.time < start || r.time >= end {
+                continue;
+            }
+            let key = (r.originator, r.querier);
+            match last_seen.entry(key) {
+                Entry::Occupied(mut e) => {
+                    if r.time.since(*e.get()) < dedup {
+                        continue; // suppressed duplicate
+                    }
+                    e.insert(r.time);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(r.time);
+                }
+            }
+            all_queriers.insert(r.querier);
+            let obs = per_originator.entry(r.originator).or_insert_with(|| {
+                OriginatorObservation { originator: r.originator, ..Default::default() }
+            });
+            obs.queries.push((r.time, r.querier));
+            obs.queriers.insert(r.querier);
+        }
+        Observations { window_start: start, window_end: end, per_originator, all_queriers }
+    }
+
+    /// Standard ingestion with the paper's 30-second window.
+    pub fn ingest(log: &QueryLog, start: SimTime, end: SimTime) -> Self {
+        Self::ingest_with_dedup(log, start, end, DEDUP_WINDOW)
+    }
+
+    /// Unique ASes among all queriers in the window, given a resolver.
+    pub fn total_ases(&self, info: &impl crate::QuerierInfo) -> usize {
+        self.all_queriers
+            .iter()
+            .filter_map(|q| info.querier_as(*q))
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Unique countries among all queriers in the window.
+    pub fn total_countries(&self, info: &impl crate::QuerierInfo) -> usize {
+        self.all_queriers
+            .iter()
+            .filter_map(|q| info.querier_country(*q))
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Number of originators observed at all.
+    pub fn originator_count(&self) -> usize {
+        self.per_originator.len()
+    }
+}
+
+/// Keep analyzable originators (≥ `min_queriers` unique queriers),
+/// ranked by unique-querier count descending, truncated to `top_n` if
+/// given. This is the paper's §III-B selection.
+pub fn select_analyzable<'a>(
+    obs: &'a Observations,
+    min_queriers: usize,
+    top_n: Option<usize>,
+) -> Vec<&'a OriginatorObservation> {
+    let mut v: Vec<&OriginatorObservation> = obs
+        .per_originator
+        .values()
+        .filter(|o| o.querier_count() >= min_queriers)
+        .collect();
+    v.sort_by(|a, b| {
+        b.querier_count()
+            .cmp(&a.querier_count())
+            .then_with(|| a.originator.cmp(&b.originator))
+    });
+    if let Some(n) = top_n {
+        v.truncate(n);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_dns::Rcode;
+    use bs_netsim::log::QueryLogRecord;
+
+    fn rec(t: u64, q: &str, o: &str) -> QueryLogRecord {
+        QueryLogRecord {
+            time: SimTime(t),
+            querier: q.parse().unwrap(),
+            originator: o.parse().unwrap(),
+            rcode: Rcode::NoError,
+        }
+    }
+
+    #[test]
+    fn dedup_drops_only_fast_repeats() {
+        let mut log = QueryLog::new();
+        log.push(rec(0, "192.0.2.1", "203.0.113.9"));
+        log.push(rec(10, "192.0.2.1", "203.0.113.9")); // within 30s: dropped
+        log.push(rec(29, "192.0.2.1", "203.0.113.9")); // still within 30s of t=0
+        log.push(rec(31, "192.0.2.1", "203.0.113.9")); // 31s after t=0: kept
+        log.push(rec(40, "192.0.2.2", "203.0.113.9")); // different querier: kept
+        let obs = Observations::ingest(&log, SimTime(0), SimTime(1000));
+        let o = &obs.per_originator[&"203.0.113.9".parse::<Ipv4Addr>().unwrap()];
+        assert_eq!(o.query_count(), 3);
+        assert_eq!(o.querier_count(), 2);
+    }
+
+    #[test]
+    fn dedup_window_restarts_after_acceptance() {
+        let mut log = QueryLog::new();
+        log.push(rec(0, "192.0.2.1", "203.0.113.9"));
+        log.push(rec(31, "192.0.2.1", "203.0.113.9")); // accepted
+        log.push(rec(60, "192.0.2.1", "203.0.113.9")); // 29s after t=31: dropped
+        log.push(rec(62, "192.0.2.1", "203.0.113.9")); // 31s after t=31: accepted
+        let obs = Observations::ingest(&log, SimTime(0), SimTime(1000));
+        let o = &obs.per_originator[&"203.0.113.9".parse::<Ipv4Addr>().unwrap()];
+        assert_eq!(o.query_count(), 3);
+    }
+
+    #[test]
+    fn dedup_is_per_originator() {
+        let mut log = QueryLog::new();
+        log.push(rec(0, "192.0.2.1", "203.0.113.9"));
+        log.push(rec(5, "192.0.2.1", "203.0.113.10")); // same querier, other originator
+        let obs = Observations::ingest(&log, SimTime(0), SimTime(1000));
+        assert_eq!(obs.originator_count(), 2);
+        assert_eq!(obs.all_queriers.len(), 1);
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let mut log = QueryLog::new();
+        log.push(rec(99, "192.0.2.1", "203.0.113.9"));
+        log.push(rec(100, "192.0.2.2", "203.0.113.9"));
+        log.push(rec(199, "192.0.2.3", "203.0.113.9"));
+        log.push(rec(200, "192.0.2.4", "203.0.113.9"));
+        let obs = Observations::ingest(&log, SimTime(100), SimTime(200));
+        let o = &obs.per_originator[&"203.0.113.9".parse::<Ipv4Addr>().unwrap()];
+        assert_eq!(o.query_count(), 2);
+    }
+
+    #[test]
+    fn selection_threshold_and_ranking() {
+        let mut log = QueryLog::new();
+        // Originator A: 25 queriers; B: 20; C: 5.
+        for i in 0..25u8 {
+            log.push(rec(i as u64 * 40, &format!("192.0.2.{i}"), "203.0.113.1"));
+        }
+        for i in 0..20u8 {
+            log.push(rec(i as u64 * 40, &format!("198.51.100.{i}"), "203.0.113.2"));
+        }
+        for i in 0..5u8 {
+            log.push(rec(i as u64 * 40, &format!("192.0.3.{i}"), "203.0.113.3"));
+        }
+        let obs = Observations::ingest(&log, SimTime(0), SimTime(10_000));
+        let selected = select_analyzable(&obs, MIN_QUERIERS, None);
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected[0].originator, "203.0.113.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(selected[1].originator, "203.0.113.2".parse::<Ipv4Addr>().unwrap());
+        let top1 = select_analyzable(&obs, MIN_QUERIERS, Some(1));
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].querier_count(), 25);
+    }
+
+    #[test]
+    fn empty_log_is_empty_observation() {
+        let obs = Observations::ingest(&QueryLog::new(), SimTime(0), SimTime(100));
+        assert_eq!(obs.originator_count(), 0);
+        assert!(select_analyzable(&obs, 1, None).is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Static features: classifying querier reverse names (paper §III-C).
+//!
+//! Each querier contributes exactly one static category, determined
+//! from its own reverse name: keyword rules applied per dot-component
+//! from the left, taking the first matching rule — so
+//! `mail.ns.example.com` and `mail-ns.example.com` are both `mail`,
+//! and `mail.google.sim` is `mail` rather than `google`.
+
+use bs_dns::DomainName;
+use bs_netsim::types::NameOutcome;
+use serde::{Deserialize, Serialize};
+
+/// The fourteen static querier categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StaticFeature {
+    /// Auto-named residential hosts (`home1-2-3-4.example.com`).
+    Home,
+    /// Mail infrastructure.
+    Mail,
+    /// Name servers.
+    Ns,
+    /// Firewalls.
+    Fw,
+    /// Anti-spam appliances.
+    AntiSpam,
+    /// Web servers.
+    Www,
+    /// NTP servers.
+    Ntp,
+    /// CDN infrastructure (by operator suffix).
+    Cdn,
+    /// Amazon AWS (by suffix).
+    Aws,
+    /// Microsoft Azure (by suffix).
+    Ms,
+    /// Google address space (by suffix here; the paper uses SPF).
+    Google,
+    /// A name matching no category.
+    OtherUnclassified,
+    /// The querier's reverse authority is unreachable.
+    Unreach,
+    /// The querier has no reverse name.
+    NxDomain,
+}
+
+impl StaticFeature {
+    /// All categories, in feature-vector order.
+    pub const ALL: [StaticFeature; 14] = [
+        StaticFeature::Home,
+        StaticFeature::Mail,
+        StaticFeature::Ns,
+        StaticFeature::Fw,
+        StaticFeature::AntiSpam,
+        StaticFeature::Www,
+        StaticFeature::Ntp,
+        StaticFeature::Cdn,
+        StaticFeature::Aws,
+        StaticFeature::Ms,
+        StaticFeature::Google,
+        StaticFeature::OtherUnclassified,
+        StaticFeature::Unreach,
+        StaticFeature::NxDomain,
+    ];
+
+    /// Index in the feature vector.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|f| *f == self).expect("feature in ALL")
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            StaticFeature::Home => "home",
+            StaticFeature::Mail => "mail",
+            StaticFeature::Ns => "ns",
+            StaticFeature::Fw => "fw",
+            StaticFeature::AntiSpam => "antispam",
+            StaticFeature::Www => "www",
+            StaticFeature::Ntp => "ntp",
+            StaticFeature::Cdn => "cdn",
+            StaticFeature::Aws => "aws",
+            StaticFeature::Ms => "ms",
+            StaticFeature::Google => "google",
+            StaticFeature::OtherUnclassified => "other-unclassified",
+            StaticFeature::Unreach => "unreach",
+            StaticFeature::NxDomain => "nxdomain",
+        }
+    }
+}
+
+/// Keyword rules in priority order (paper §III-C: "taking first rule
+/// when there are multiple matches").
+const RULES: &[(StaticFeature, &[&str])] = &[
+    (
+        StaticFeature::Home,
+        &[
+            "ap", "cable", "cpe", "customer", "dsl", "dynamic", "fiber", "flets", "home", "host",
+            "ip", "net", "pool", "pop", "retail", "user",
+        ],
+    ),
+    (
+        StaticFeature::Mail,
+        &[
+            "mail", "mx", "smtp", "post", "correo", "poczta", "send", "lists", "newsletter",
+            "zimbra", "mta", "imap",
+        ],
+    ),
+    (StaticFeature::Ns, &["cns", "dns", "ns", "cache", "resolv", "name"]),
+    (StaticFeature::Fw, &["firewall", "wall", "fw"]),
+    (StaticFeature::AntiSpam, &["ironport", "spam"]),
+    (StaticFeature::Www, &["www"]),
+    (StaticFeature::Ntp, &["ntp"]),
+];
+
+/// Operator suffix components for infrastructure categories.
+const CDN_SUFFIXES: &[&str] = &["akamai", "edgecast", "cdnetworks", "llnw", "chinacache"];
+
+/// Does `component` match `keyword`? Exact, keyword+digits, or
+/// keyword followed by `-`/digits (so `mail2`, `mail-ns`, `dsl1-2-3-4`
+/// all match, but `mailing` does not — a trailing letter means a
+/// different word).
+fn component_matches(component: &str, keyword: &str) -> bool {
+    if let Some(rest) = component.strip_prefix(keyword) {
+        rest.is_empty() || rest.starts_with('-') || rest.chars().next().is_some_and(|c| c.is_ascii_digit())
+    } else {
+        false
+    }
+}
+
+/// Which dot-component wins when several match (ablation knob; the
+/// paper, and the default everywhere, favours the left-most).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOrder {
+    /// The paper's rule: scan components left to right.
+    LeftmostFirst,
+    /// Ablation variant: scan right to left (suffix-biased).
+    RightmostFirst,
+}
+
+fn classify_component(component: &str) -> Option<StaticFeature> {
+    for (feature, keywords) in RULES {
+        for kw in *keywords {
+            if component_matches(component, kw) {
+                return Some(*feature);
+            }
+        }
+    }
+    // Operator suffixes are whole components (akamai, amazonaws, …).
+    if CDN_SUFFIXES.contains(&component) {
+        return Some(StaticFeature::Cdn);
+    }
+    match component {
+        "amazonaws" => Some(StaticFeature::Aws),
+        "azure" | "msazure" => Some(StaticFeature::Ms),
+        "google" => Some(StaticFeature::Google),
+        _ => None,
+    }
+}
+
+/// Classify a reverse name into a static category with an explicit
+/// component-scan order.
+pub fn classify_name_with_order(name: &DomainName, order: MatchOrder) -> StaticFeature {
+    let classify_seq = |iter: &mut dyn Iterator<Item = String>| {
+        for component in iter {
+            if let Some(f) = classify_component(&component) {
+                return f;
+            }
+        }
+        StaticFeature::OtherUnclassified
+    };
+    match order {
+        MatchOrder::LeftmostFirst => {
+            classify_seq(&mut name.labels().iter().map(|l| l.to_lowercase()))
+        }
+        MatchOrder::RightmostFirst => {
+            classify_seq(&mut name.labels().iter().rev().map(|l| l.to_lowercase()))
+        }
+    }
+}
+
+/// Classify a reverse name into a static category (the paper's
+/// left-most-first rule).
+pub fn classify_name(name: &DomainName) -> StaticFeature {
+    classify_name_with_order(name, MatchOrder::LeftmostFirst)
+}
+
+/// Classify the full reverse-lookup outcome for a querier.
+pub fn classify_querier_name(outcome: &NameOutcome) -> StaticFeature {
+    match outcome {
+        NameOutcome::Name(n) => classify_name(n),
+        NameOutcome::NxDomain => StaticFeature::NxDomain,
+        NameOutcome::Unreachable => StaticFeature::Unreach,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(s: &str) -> StaticFeature {
+        classify_name(&DomainName::parse(s).unwrap())
+    }
+
+    #[test]
+    fn paper_examples() {
+        // §III-C: "both mail.ns.example.com and mail-ns.example.com are mail"
+        assert_eq!(classify("mail.ns.example.com"), StaticFeature::Mail);
+        assert_eq!(classify("mail-ns.example.com"), StaticFeature::Mail);
+        // home computers with embedded addresses
+        assert_eq!(classify("home1-2-3-4.example.com"), StaticFeature::Home);
+        assert_eq!(classify("dsl1-2-3-4.bigisp.net"), StaticFeature::Home);
+    }
+
+    #[test]
+    fn leftmost_component_wins() {
+        // mail.google.sim: left-most "mail" beats the google suffix.
+        assert_eq!(classify("mail.google.sim"), StaticFeature::Mail);
+        // but a neutral host under google is google.
+        assert_eq!(classify("a1-2-3-4.compute.google.sim"), StaticFeature::Google);
+    }
+
+    #[test]
+    fn first_rule_wins_on_multi_match() {
+        // "pop" appears in both home and mail lists; home comes first.
+        assert_eq!(classify("pop3.example.com"), StaticFeature::Home);
+    }
+
+    #[test]
+    fn keyword_requires_word_boundary() {
+        // 'mailing' should NOT match 'mail'; 'wall' rule does not match 'wallet'.
+        assert_eq!(classify("mailing.example.com"), StaticFeature::OtherUnclassified);
+        assert_eq!(classify("wallet.example.com"), StaticFeature::OtherUnclassified);
+        // but digits and dashes do continue a keyword
+        assert_eq!(classify("mx01.example.jp"), StaticFeature::Mail);
+        assert_eq!(classify("ns1-cache.isp.net"), StaticFeature::Ns);
+        assert_eq!(classify("fw2.corp.example.com"), StaticFeature::Fw);
+    }
+
+    #[test]
+    fn infrastructure_suffixes() {
+        assert_eq!(classify("a96-7-4-2.deploy.akamai.sim"), StaticFeature::Cdn);
+        assert_eq!(classify("edge3.edgecast.sim"), StaticFeature::Cdn);
+        assert_eq!(classify("ec2-1-2-3-4.compute.amazonaws.sim"), StaticFeature::Aws);
+        assert_eq!(classify("waws-prod.azure.sim"), StaticFeature::Ms);
+    }
+
+    #[test]
+    fn all_rule_categories_reachable() {
+        assert_eq!(classify("ironport2.example.com"), StaticFeature::AntiSpam);
+        assert_eq!(classify("www.example.jp"), StaticFeature::Www);
+        assert_eq!(classify("ntp1.university.edu"), StaticFeature::Ntp);
+        assert_eq!(classify("zxqv77.example.org"), StaticFeature::OtherUnclassified);
+    }
+
+    #[test]
+    fn outcome_variants() {
+        assert_eq!(
+            classify_querier_name(&NameOutcome::NxDomain),
+            StaticFeature::NxDomain
+        );
+        assert_eq!(
+            classify_querier_name(&NameOutcome::Unreachable),
+            StaticFeature::Unreach
+        );
+        let n = DomainName::parse("smtp.example.com").unwrap();
+        assert_eq!(
+            classify_querier_name(&NameOutcome::Name(n)),
+            StaticFeature::Mail
+        );
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, f) in StaticFeature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        assert_eq!(StaticFeature::ALL.len(), 14);
+    }
+}

@@ -1,0 +1,330 @@
+//! Streaming ingestion: the sensor as a long-running process.
+//!
+//! The batch path ([`crate::ingest::Observations`]) wants a whole
+//! window's log in memory — fine for research replay, wrong for a
+//! production tap at a busy authority. [`StreamingSensor`] consumes one
+//! record at a time, keeps per-originator state with a hard memory
+//! bound, and emits completed windows as the stream crosses window
+//! boundaries.
+//!
+//! # Memory bound
+//!
+//! Per-originator state is capped at [`StreamConfig::max_originators`].
+//! When full, a new originator evicts the current *smallest* tracked
+//! originator, but only when the newcomer has already been seen
+//! [`StreamConfig::admission_queries`] times in a probation side-table
+//! — an admission filter that stops one-off originators from thrashing
+//! the table while keeping the heavy hitters exact. Analyzable
+//! originators (the paper's ≥ 20 queriers) are far above the admission
+//! bar, so eviction only ever touches originators the pipeline would
+//! discard anyway — unless the table is sized below the number of
+//! simultaneously-large originators, which [`WindowSummary::evicted`]
+//! makes visible.
+
+use crate::ingest::{Observations, OriginatorObservation, DEDUP_WINDOW};
+use bs_dns::{SimDuration, SimTime};
+use bs_netsim::log::QueryLogRecord;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Streaming-sensor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Window length.
+    pub window: SimDuration,
+    /// Hard cap on tracked originators per window.
+    pub max_originators: usize,
+    /// Queries an unknown originator must accumulate (in the probation
+    /// table) before it may evict a tracked one.
+    pub admission_queries: usize,
+    /// Per-querier dedup window (the paper's 30 s).
+    pub dedup: SimDuration,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 100_000,
+            admission_queries: 3,
+            dedup: DEDUP_WINDOW,
+        }
+    }
+}
+
+/// A completed window emitted by the streaming sensor.
+#[derive(Debug, Clone)]
+pub struct WindowSummary {
+    /// The window bounds.
+    pub window: (SimTime, SimTime),
+    /// Per-originator observations, equivalent to the batch path's.
+    pub observations: Observations,
+    /// Originators evicted during the window (their counts are lower
+    /// bounds; anything that mattered was far above the analyzability
+    /// bar before eviction could touch it).
+    pub evicted: usize,
+}
+
+/// The streaming sensor.
+pub struct StreamingSensor {
+    config: StreamConfig,
+    window_start: SimTime,
+    per_originator: BTreeMap<Ipv4Addr, OriginatorObservation>,
+    probation: HashMap<Ipv4Addr, usize>,
+    last_seen: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    all_queriers: std::collections::BTreeSet<Ipv4Addr>,
+    evicted: usize,
+    started: bool,
+}
+
+impl StreamingSensor {
+    /// Create a sensor; the first record anchors the first window.
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(config.window.secs() > 0);
+        assert!(config.max_originators > 0);
+        StreamingSensor {
+            config,
+            window_start: SimTime::ZERO,
+            per_originator: BTreeMap::new(),
+            probation: HashMap::new(),
+            last_seen: HashMap::new(),
+            all_queriers: std::collections::BTreeSet::new(),
+            evicted: 0,
+            started: false,
+        }
+    }
+
+    /// Feed one record (records must arrive in time order). Returns the
+    /// completed window when `r` crosses a window boundary.
+    pub fn push(&mut self, r: QueryLogRecord) -> Option<WindowSummary> {
+        if !self.started {
+            // Anchor windows at the first record's window boundary.
+            self.window_start =
+                SimTime(r.time.secs() - r.time.secs() % self.config.window.secs());
+            self.started = true;
+        }
+        let mut emitted = None;
+        if r.time >= self.window_start + self.config.window {
+            emitted = Some(self.rotate(r.time));
+        }
+        self.ingest(r);
+        emitted
+    }
+
+    /// Flush the current (partial) window at end of stream.
+    pub fn finish(mut self) -> Option<WindowSummary> {
+        if !self.started || self.per_originator.is_empty() {
+            return None;
+        }
+        let end = self.window_start + self.config.window;
+        Some(self.take_window(end))
+    }
+
+    fn rotate(&mut self, now: SimTime) -> WindowSummary {
+        let end = self.window_start + self.config.window;
+        let summary = self.take_window(end);
+        // Advance to the window containing `now` (possibly skipping
+        // empty windows).
+        let w = self.config.window.secs();
+        self.window_start = SimTime(now.secs() - now.secs() % w);
+        summary
+    }
+
+    fn take_window(&mut self, end: SimTime) -> WindowSummary {
+        let observations = Observations {
+            window_start: self.window_start,
+            window_end: end,
+            per_originator: std::mem::take(&mut self.per_originator),
+            all_queriers: std::mem::take(&mut self.all_queriers),
+        };
+        self.probation.clear();
+        self.last_seen.clear();
+        let evicted = std::mem::take(&mut self.evicted);
+        WindowSummary { window: (self.window_start, end), observations, evicted }
+    }
+
+    fn ingest(&mut self, r: QueryLogRecord) {
+        // Dedup identical querier/originator pairs inside the window.
+        let key = (r.originator, r.querier);
+        match self.last_seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if r.time.since(*e.get()) < self.config.dedup {
+                    return;
+                }
+                e.insert(r.time);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(r.time);
+            }
+        }
+        self.all_queriers.insert(r.querier);
+
+        match self.per_originator.entry(r.originator) {
+            Entry::Occupied(mut e) => {
+                let o = e.get_mut();
+                o.queries.push((r.time, r.querier));
+                o.queriers.insert(r.querier);
+            }
+            Entry::Vacant(_) => {
+                if self.per_originator.len() >= self.config.max_originators {
+                    // Admission control: count in probation first.
+                    let hits = self.probation.entry(r.originator).or_insert(0);
+                    *hits += 1;
+                    if *hits < self.config.admission_queries {
+                        return;
+                    }
+                    // Evict the smallest tracked originator.
+                    if let Some(victim) = self
+                        .per_originator
+                        .iter()
+                        .min_by_key(|(ip, o)| (o.querier_count(), **ip))
+                        .map(|(ip, _)| *ip)
+                    {
+                        self.per_originator.remove(&victim);
+                        self.evicted += 1;
+                    }
+                    self.probation.remove(&r.originator);
+                }
+                let mut o = OriginatorObservation {
+                    originator: r.originator,
+                    ..Default::default()
+                };
+                o.queries.push((r.time, r.querier));
+                o.queriers.insert(r.querier);
+                self.per_originator.insert(r.originator, o);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_dns::Rcode;
+
+    fn rec(t: u64, q: u32, o: u32) -> QueryLogRecord {
+        QueryLogRecord {
+            time: SimTime(t),
+            querier: Ipv4Addr::from(0x0A00_0000 | q),
+            originator: Ipv4Addr::from(0xCB00_0000 | o),
+            rcode: Rcode::NoError,
+        }
+    }
+
+    #[test]
+    fn matches_batch_ingestion_when_unbounded() {
+        // Stream vs batch over the same records must agree exactly.
+        let records: Vec<QueryLogRecord> = (0..500u32)
+            .map(|i| rec((i as u64 * 37) % 86_000, i % 40, i % 7))
+            .collect();
+        let mut sorted = records.clone();
+        sorted.sort_by_key(|r| r.time);
+
+        let mut log = bs_netsim::log::QueryLog::new();
+        for r in &sorted {
+            log.push(*r);
+        }
+        let batch = Observations::ingest(&log, SimTime(0), SimTime(86_400));
+
+        let mut sensor = StreamingSensor::new(StreamConfig::default());
+        for r in &sorted {
+            assert!(sensor.push(*r).is_none(), "all inside one window");
+        }
+        let window = sensor.finish().expect("one window");
+        assert_eq!(window.observations.per_originator, batch.per_originator);
+        assert_eq!(window.observations.all_queriers, batch.all_queriers);
+        assert_eq!(window.evicted, 0);
+    }
+
+    #[test]
+    fn windows_rotate_on_boundaries() {
+        let cfg = StreamConfig { window: SimDuration::from_secs(100), ..Default::default() };
+        let mut sensor = StreamingSensor::new(cfg);
+        assert!(sensor.push(rec(10, 1, 1)).is_none());
+        assert!(sensor.push(rec(99, 2, 1)).is_none());
+        let w1 = sensor.push(rec(100, 3, 1)).expect("boundary crossed");
+        assert_eq!(w1.window, (SimTime(0), SimTime(100)));
+        assert_eq!(w1.observations.per_originator.len(), 1);
+        assert_eq!(
+            w1.observations.per_originator.values().next().unwrap().querier_count(),
+            2
+        );
+        // Jumping several windows ahead lands in the right window.
+        let w2 = sensor.push(rec(555, 4, 2)).expect("second window emitted");
+        assert_eq!(w2.window.0, SimTime(100));
+        let w3 = sensor.finish().expect("final flush");
+        assert_eq!(w3.window.0, SimTime(500));
+    }
+
+    #[test]
+    fn memory_bound_preserves_heavy_hitters() {
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 10,
+            admission_queries: 3,
+            ..Default::default()
+        };
+        let mut sensor = StreamingSensor::new(cfg);
+        let mut t = 0u64;
+        // One heavy originator with 50 queriers…
+        for q in 0..50u32 {
+            sensor.push(rec(t, q, 999));
+            t += 40;
+        }
+        // …then a storm of 200 one-shot originators.
+        for o in 0..200u32 {
+            sensor.push(rec(t, o + 100, o));
+            t += 1;
+        }
+        let w = sensor.finish().expect("window");
+        let heavy = Ipv4Addr::from(0xCB00_0000 | 999);
+        let obs = w
+            .observations
+            .per_originator
+            .get(&heavy)
+            .expect("heavy hitter survives the storm");
+        assert_eq!(obs.querier_count(), 50);
+        assert!(w.observations.per_originator.len() <= 10);
+    }
+
+    #[test]
+    fn admission_filter_requires_repeat_visits() {
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 2,
+            admission_queries: 3,
+            ..Default::default()
+        };
+        let mut sensor = StreamingSensor::new(cfg);
+        sensor.push(rec(0, 1, 1));
+        sensor.push(rec(31, 2, 1));
+        sensor.push(rec(62, 3, 2));
+        // A single-shot stranger must not evict anyone…
+        sensor.push(rec(93, 4, 3));
+        let tracked: Vec<_> = sensor.per_originator.keys().copied().collect();
+        assert_eq!(tracked.len(), 2);
+        assert!(!tracked.contains(&Ipv4Addr::from(0xCB00_0000 | 3)));
+        // …but a persistent one (3 distinct queriers, spaced) gets in.
+        sensor.push(rec(200, 5, 3));
+        sensor.push(rec(300, 6, 3));
+        assert!(sensor.per_originator.contains_key(&Ipv4Addr::from(0xCB00_0000 | 3)));
+    }
+
+    #[test]
+    fn dedup_applies_in_stream() {
+        let mut sensor = StreamingSensor::new(StreamConfig::default());
+        sensor.push(rec(0, 1, 1));
+        sensor.push(rec(10, 1, 1)); // dropped
+        sensor.push(rec(31, 1, 1)); // kept
+        let w = sensor.finish().unwrap();
+        let o = w.observations.per_originator.values().next().unwrap();
+        assert_eq!(o.query_count(), 2);
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        let sensor = StreamingSensor::new(StreamConfig::default());
+        assert!(sensor.finish().is_none());
+    }
+}

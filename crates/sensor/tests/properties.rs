@@ -1,0 +1,110 @@
+//! Property-based tests for the sensor.
+
+use bs_dns::{Rcode, SimDuration, SimTime};
+use bs_netsim::log::{QueryLog, QueryLogRecord};
+use bs_netsim::types::{AsId, CountryCode, NameOutcome};
+use bs_sensor::ingest::Observations;
+use bs_sensor::static_features::{classify_name, classify_name_with_order, MatchOrder};
+use bs_sensor::{extract_from_observations, FeatureConfig, QuerierInfo};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+struct ToyInfo;
+impl QuerierInfo for ToyInfo {
+    fn querier_name(&self, addr: Ipv4Addr) -> NameOutcome {
+        match addr.octets()[3] % 4 {
+            0 => NameOutcome::Name(bs_dns::DomainName::parse("mail.example.com").unwrap()),
+            1 => NameOutcome::Name(bs_dns::DomainName::parse("ns1.isp.net").unwrap()),
+            2 => NameOutcome::NxDomain,
+            _ => NameOutcome::Unreachable,
+        }
+    }
+    fn querier_as(&self, addr: Ipv4Addr) -> Option<AsId> {
+        Some(AsId(addr.octets()[1] as u32))
+    }
+    fn querier_country(&self, _addr: Ipv4Addr) -> Option<CountryCode> {
+        CountryCode::new("us")
+    }
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<QueryLogRecord>> {
+    proptest::collection::vec(
+        (0u64..10_000, any::<u16>(), any::<u8>()).prop_map(|(t, q, o)| QueryLogRecord {
+            time: SimTime(t),
+            querier: Ipv4Addr::new(10, (q >> 8) as u8, q as u8, (q % 251) as u8),
+            originator: Ipv4Addr::new(203, 0, 113, o),
+            rcode: Rcode::NoError,
+        }),
+        0..300,
+    )
+}
+
+fn log_of(mut records: Vec<QueryLogRecord>) -> QueryLog {
+    records.sort_by_key(|r| r.time);
+    let mut log = QueryLog::new();
+    for r in records {
+        log.push(r);
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Static fractions always sum to 1 for every analyzable originator,
+    /// and every feature value is finite.
+    #[test]
+    fn static_fractions_sum_to_one(records in arb_records()) {
+        let log = log_of(records);
+        let obs = Observations::ingest(&log, SimTime(0), SimTime(10_000));
+        let feats = extract_from_observations(&obs, &ToyInfo, &FeatureConfig { min_queriers: 1, top_n: None });
+        for f in feats {
+            let sum: f64 = f.features.static_fractions.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+            for v in f.features.to_vec() {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    /// Dedup never *increases* the query count, never changes the
+    /// querier set, and is idempotent in its effect on uniques.
+    #[test]
+    fn dedup_only_removes_repeats(records in arb_records()) {
+        let log = log_of(records);
+        let strict = Observations::ingest_with_dedup(&log, SimTime(0), SimTime(10_000), SimDuration(30));
+        let none = Observations::ingest_with_dedup(&log, SimTime(0), SimTime(10_000), SimDuration(0));
+        prop_assert_eq!(strict.originator_count(), none.originator_count());
+        for (ip, o) in &strict.per_originator {
+            let raw = &none.per_originator[ip];
+            prop_assert!(o.query_count() <= raw.query_count());
+            prop_assert_eq!(&o.queriers, &raw.queriers, "dedup must not drop queriers");
+        }
+    }
+
+    /// Ranking respects the threshold and descending footprint order.
+    #[test]
+    fn selection_is_ranked(records in arb_records(), min in 1usize..10) {
+        let log = log_of(records);
+        let obs = Observations::ingest(&log, SimTime(0), SimTime(10_000));
+        let selected = bs_sensor::ingest::select_analyzable(&obs, min, None);
+        for pair in selected.windows(2) {
+            prop_assert!(pair[0].querier_count() >= pair[1].querier_count());
+        }
+        for o in &selected {
+            prop_assert!(o.querier_count() >= min);
+        }
+    }
+
+    /// The keyword matcher is total and order variants agree on
+    /// single-label names.
+    #[test]
+    fn matcher_total_and_consistent(label in "[a-z][a-z0-9-]{0,20}[a-z0-9]") {
+        if let Ok(name) = bs_dns::DomainName::parse(&label) {
+            let l = classify_name_with_order(&name, MatchOrder::LeftmostFirst);
+            let r = classify_name_with_order(&name, MatchOrder::RightmostFirst);
+            prop_assert_eq!(l, r, "single-component names have one scan order");
+            prop_assert_eq!(classify_name(&name), l);
+        }
+    }
+}

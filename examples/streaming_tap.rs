@@ -1,0 +1,60 @@
+//! A live tap at an authority: the streaming sensor.
+//!
+//! Deployment differs from research replay: records arrive one at a
+//! time, forever, and memory must stay bounded. This example simulates
+//! a day and a half of JP traffic, then replays the log through
+//! [`StreamingSensor`](dns_backscatter::sensor::StreamingSensor) in
+//! six-hour windows with a deliberately small originator table,
+//! showing that the heavy hitters (the only classifiable originators)
+//! survive the memory bound.
+//!
+//! ```bash
+//! cargo run --release --example streaming_tap
+//! ```
+
+use dns_backscatter::prelude::*;
+use dns_backscatter::sensor::ingest::select_analyzable;
+use dns_backscatter::sensor::{StreamConfig, StreamingSensor, WindowSummary};
+
+fn main() {
+    // Simulate 36 hours of JP-observable activity.
+    let world = World::new(WorldConfig::default());
+    let mut spec = DatasetSpec::paper(DatasetId::JpDitl, Scale::smoke(), 11);
+    spec.scenario.duration = SimDuration::from_hours(36);
+    println!("simulating 36 hours at the JP national authority…");
+    let built = build_dataset(&world, spec);
+    println!("  {} reverse-query records\n", built.log.len());
+
+    // Replay through the streaming sensor: 6-hour windows, a tight
+    // 500-originator memory bound.
+    let mut sensor = StreamingSensor::new(StreamConfig {
+        window: SimDuration::from_hours(6),
+        max_originators: 500,
+        ..Default::default()
+    });
+    let mut windows: Vec<WindowSummary> = Vec::new();
+    for r in built.log.records() {
+        if let Some(w) = sensor.push(*r) {
+            windows.push(w);
+        }
+    }
+    windows.extend(sensor.finish());
+
+    println!("window            tracked  analyzable(≥20q)  evicted  biggest footprint");
+    for w in &windows {
+        let analyzable = select_analyzable(&w.observations, 20, None);
+        let biggest = analyzable.first().map(|o| o.querier_count()).unwrap_or(0);
+        println!(
+            "{}..{}  {:>7}  {:>16}  {:>7}  {:>17}",
+            w.window.0,
+            w.window.1,
+            w.observations.originator_count(),
+            analyzable.len(),
+            w.evicted,
+            biggest
+        );
+    }
+    println!();
+    println!("evictions only ever touch sub-threshold originators: everything the");
+    println!("classifier would use survives a 500-entry table.");
+}

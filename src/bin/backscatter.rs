@@ -1,0 +1,318 @@
+//! `backscatter` — command-line front end for the dns-backscatter
+//! system.
+//!
+//! ```text
+//! backscatter simulate --dataset JP-ditl --scale smoke --seed 7 --out jp.tsv
+//! backscatter features --log jp.tsv [--min-queriers 20]
+//! backscatter classify --log jp.tsv --dataset JP-ditl --scale smoke --seed 7
+//! backscatter capture  --log jp.tsv --out jp.bscap      # TSV → packet capture
+//! backscatter capture  --capture jp.bscap --out jp.tsv  # packet capture → TSV
+//! ```
+//!
+//! The world is deterministic per seed, so `classify` can re-derive the
+//! generating scenario (for label curation) from the same dataset,
+//! scale, and seed that produced the log.
+
+use dns_backscatter::netsim::capture::{read_capture, write_capture};
+use dns_backscatter::netsim::log::QueryLog;
+use dns_backscatter::prelude::*;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "features" => cmd_features(&flags),
+        "classify" => cmd_classify(&flags),
+        "train" => cmd_train(&flags),
+        "report" => cmd_report(&flags),
+        "capture" => cmd_capture(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "backscatter — DNS backscatter sensing, classification, analysis
+
+commands:
+  simulate  --dataset <name> [--scale smoke|standard] [--seed N] --out <log.tsv>
+            simulate a paper-dataset replica and write its query log
+  features  --log <log.tsv> [--min-queriers N] [--window-start S --window-end S]
+            extract per-originator feature vectors as TSV
+  classify  --log <log.tsv> --dataset <name> [--scale …] [--seed N]
+            curate labels from the generating scenario, train RF, classify
+  classify  --log <log.tsv> --model <model.bsf> [--min-queriers N]
+            classify with a saved model (no scenario needed)
+  train     --log <log.tsv> --dataset <name> [--scale …] [--seed N] --save <model.bsf>
+            curate, train a random forest, and save it
+  report    --log <log.tsv> --dataset <name> [--scale …] [--seed N]
+            classify all windows and print a situation report
+  capture   --log <log.tsv> --out <file.bscap>   convert TSV → packet capture
+  capture   --capture <file.bscap> --out <log.tsv>   and back
+
+datasets: JP-ditl, B-post-ditl, B-long, B-multi-year, M-ditl, M-ditl-2015, M-sampled"
+    );
+}
+
+type Flags = BTreeMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {a:?}"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn dataset_id(flags: &Flags) -> Result<DatasetId, String> {
+    let name = flags.get("dataset").ok_or("--dataset is required")?;
+    DatasetId::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))
+}
+
+fn scale(flags: &Flags) -> Result<Scale, String> {
+    match flags.get("scale").map(String::as_str) {
+        None | Some("smoke") => Ok(Scale::smoke()),
+        Some("standard") => Ok(Scale::standard()),
+        Some(other) => Err(format!("unknown scale {other:?} (smoke|standard)")),
+    }
+}
+
+fn seed(flags: &Flags) -> Result<u64, String> {
+    match flags.get("seed") {
+        None => Ok(1),
+        Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}")),
+    }
+}
+
+fn load_log(flags: &Flags) -> Result<QueryLog, String> {
+    let path = flags.get("log").ok_or("--log is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    QueryLog::from_tsv(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let id = dataset_id(flags)?;
+    let out = flags.get("out").ok_or("--out is required")?;
+    let world = World::new(WorldConfig::default());
+    let spec = DatasetSpec::paper(id, scale(flags)?, seed(flags)?);
+    eprintln!("simulating {}…", id.name());
+    let built = build_dataset(&world, spec);
+    eprintln!(
+        "{} contacts → {} reverse queries at {}",
+        built.stats.contacts,
+        built.log.len(),
+        built.spec.authority
+    );
+    std::fs::write(out, built.log.to_tsv()).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_features(flags: &Flags) -> Result<(), String> {
+    let log = load_log(flags)?;
+    let world = World::new(WorldConfig::default());
+    let min_queriers = flags
+        .get("min-queriers")
+        .map(|s| s.parse().map_err(|_| format!("bad --min-queriers {s:?}")))
+        .transpose()?
+        .unwrap_or(20);
+    let start = SimTime(
+        flags
+            .get("window-start")
+            .map(|s| s.parse().map_err(|_| "bad --window-start".to_string()))
+            .transpose()?
+            .unwrap_or(0),
+    );
+    let end = SimTime(
+        flags
+            .get("window-end")
+            .map(|s| s.parse().map_err(|_| "bad --window-end".to_string()))
+            .transpose()?
+            .unwrap_or(u64::MAX),
+    );
+    let feats = extract_features(
+        &log,
+        &world,
+        start,
+        end,
+        &FeatureConfig { min_queriers, top_n: None },
+    );
+    // Header, then one row per originator.
+    let names = dns_backscatter::sensor::FeatureVector::names();
+    println!("originator\tqueriers\tqueries\t{}", names.join("\t"));
+    for f in feats {
+        let values: Vec<String> = f.features.to_vec().iter().map(|v| format!("{v:.5}")).collect();
+        println!(
+            "{}\t{}\t{}\t{}",
+            f.originator,
+            f.querier_count,
+            f.query_count,
+            values.join("\t")
+        );
+    }
+    Ok(())
+}
+
+fn curated_training_data(
+    world: &World,
+    built: &dns_backscatter::datasets::BuiltDataset,
+) -> dns_backscatter::ml::Dataset {
+    use dns_backscatter::classify::pipeline::feature_map;
+    use dns_backscatter::classify::{ClassifierPipeline, LabeledSet};
+    let window = built.windows()[0];
+    let feats = built.features_for_window(
+        world,
+        window,
+        &FeatureConfig { min_queriers: 10, top_n: None },
+    );
+    let truth = built.truth_for_window(window);
+    let labeled = LabeledSet::curate(&truth, &feats, 140);
+    ClassifierPipeline::to_dataset(&labeled, &feature_map(&feats))
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    use dns_backscatter::ml::{Forest, ForestParams};
+    let log = load_log(flags)?;
+    let id = dataset_id(flags)?;
+    let save = flags.get("save").ok_or("--save is required")?;
+    let world = World::new(WorldConfig::default());
+    let spec = DatasetSpec::paper(id, scale(flags)?, seed(flags)?);
+    let built = dns_backscatter::datasets::build::assemble_with_log(&world, spec, log);
+    let data = curated_training_data(&world, &built);
+    if data.is_empty() || data.present_classes().len() < 2 {
+        return Err("not enough curated examples to train".into());
+    }
+    eprintln!(
+        "training a random forest on {} examples over {} classes…",
+        data.len(),
+        data.present_classes().len()
+    );
+    let forest = Forest::fit(&data, &ForestParams::default(), seed(flags)?);
+    std::fs::write(save, forest.to_text()).map_err(|e| format!("write {save}: {e}"))?;
+    eprintln!("saved {save} ({} trees)", forest.n_trees());
+    Ok(())
+}
+
+fn cmd_classify_with_model(flags: &Flags) -> Result<(), String> {
+    use dns_backscatter::ml::Forest;
+    let log = load_log(flags)?;
+    let model_path = flags.get("model").expect("checked by caller");
+    let text =
+        std::fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
+    let forest = Forest::from_text(&text).map_err(|e| format!("parse {model_path}: {e}"))?;
+    let world = World::new(WorldConfig::default());
+    let min_queriers = flags
+        .get("min-queriers")
+        .map(|s| s.parse().map_err(|_| format!("bad --min-queriers {s:?}")))
+        .transpose()?
+        .unwrap_or(10);
+    let feats = extract_features(
+        &log,
+        &world,
+        SimTime(0),
+        SimTime(u64::MAX),
+        &FeatureConfig { min_queriers, top_n: None },
+    );
+    println!("originator	queriers	class");
+    for f in feats {
+        let idx = forest.predict(&f.features.to_vec());
+        let class = ApplicationClass::from_index(idx)
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|| format!("class-{idx}"));
+        println!("{}	{}	{}", f.originator, f.querier_count, class);
+    }
+    Ok(())
+}
+
+fn cmd_classify(flags: &Flags) -> Result<(), String> {
+    if flags.contains_key("model") {
+        return cmd_classify_with_model(flags);
+    }
+    let log = load_log(flags)?;
+    let id = dataset_id(flags)?;
+    let world = World::new(WorldConfig::default());
+    let spec = DatasetSpec::paper(id, scale(flags)?, seed(flags)?);
+    let built = dns_backscatter::datasets::build::assemble_with_log(&world, spec, log);
+    let mut pipeline = DatasetPipeline::default();
+    pipeline.feature_config.min_queriers = 10;
+    let run = pipeline.run(&world, &built);
+    eprintln!("labeled {} examples; {} windows", run.labels.len(), run.windows.len());
+    println!("window\toriginator\tqueriers\tclass");
+    for w in &run.windows {
+        for e in &w.entries {
+            println!("{}\t{}\t{}\t{}", w.window, e.originator, e.queriers, e.class);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(flags: &Flags) -> Result<(), String> {
+    use dns_backscatter::analysis::render_report;
+    let log = load_log(flags)?;
+    let id = dataset_id(flags)?;
+    let world = World::new(WorldConfig::default());
+    let spec = DatasetSpec::paper(id, scale(flags)?, seed(flags)?);
+    let built = dns_backscatter::datasets::build::assemble_with_log(&world, spec, log);
+    let mut pipeline = DatasetPipeline::default();
+    pipeline.feature_config.min_queriers = 10;
+    let run = pipeline.run(&world, &built);
+    print!("{}", render_report(&run.windows));
+    Ok(())
+}
+
+fn cmd_capture(flags: &Flags) -> Result<(), String> {
+    let out = flags.get("out").ok_or("--out is required")?;
+    match (flags.get("log"), flags.get("capture")) {
+        (Some(_), None) => {
+            let log = load_log(flags)?;
+            std::fs::write(out, write_capture(&log)).map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!("wrote packet capture {out} ({} records)", log.len());
+            Ok(())
+        }
+        (None, Some(path)) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+            let (log, stats) =
+                read_capture(&bytes).map_err(|e| format!("parse {path}: {e}"))?;
+            std::fs::write(out, log.to_tsv()).map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!(
+                "decoded {} frames → {} records ({} undecodable, {} filtered)",
+                stats.frames, stats.records, stats.undecodable, stats.filtered
+            );
+            Ok(())
+        }
+        _ => Err("capture needs exactly one of --log (to encode) or --capture (to decode)".into()),
+    }
+}

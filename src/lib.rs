@@ -1,0 +1,19 @@
+//! `dns-backscatter` — detecting malicious network-wide activity with
+//! DNS backscatter.
+//!
+//! This is the workspace's umbrella crate: it re-exports
+//! [`backscatter_core`] (which in turn exposes every subsystem) and
+//! hosts the runnable examples in `examples/` and the cross-crate
+//! integration tests in `tests/`.
+//!
+//! Start with [`backscatter_core::prelude`] and the `quickstart`
+//! example:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use backscatter_core::*;

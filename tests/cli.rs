@@ -1,0 +1,160 @@
+//! End-to-end tests of the `backscatter` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_backscatter"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bs-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+/// Simulate once for the whole test file (smoke scale, ~seconds).
+fn simulated_log() -> PathBuf {
+    let path = tmp("cli-jp.tsv");
+    if path.exists() {
+        return path;
+    }
+    let out = bin()
+        .args([
+            "simulate",
+            "--dataset",
+            "JP-ditl",
+            "--scale",
+            "smoke",
+            "--seed",
+            "5",
+            "--out",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    path
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_then_features_produces_tsv() {
+    let log = simulated_log();
+    let out = bin()
+        .args(["features", "--log", log.to_str().unwrap(), "--min-queriers", "10"])
+        .output()
+        .expect("run features");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header row");
+    assert!(header.starts_with("originator\tqueriers\tqueries\t"));
+    assert_eq!(header.split('\t').count(), 3 + 22, "3 id columns + 22 features");
+    let rows: Vec<&str> = lines.collect();
+    assert!(!rows.is_empty(), "no analyzable originators");
+    for row in rows {
+        assert_eq!(row.split('\t').count(), 25, "bad row {row:?}");
+    }
+}
+
+#[test]
+fn capture_round_trip_preserves_log() {
+    let log = simulated_log();
+    let cap = tmp("cli-jp.bscap");
+    let back = tmp("cli-jp-back.tsv");
+    let out = bin()
+        .args(["capture", "--log", log.to_str().unwrap(), "--out", cap.to_str().unwrap()])
+        .output()
+        .expect("encode");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["capture", "--capture", cap.to_str().unwrap(), "--out", back.to_str().unwrap()])
+        .output()
+        .expect("decode");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let a = std::fs::read_to_string(&log).unwrap();
+    let b = std::fs::read_to_string(&back).unwrap();
+    assert_eq!(a, b, "wire round trip must be lossless");
+}
+
+#[test]
+fn train_then_classify_with_model() {
+    let log = simulated_log();
+    let model = tmp("cli-jp.bsf");
+    let out = bin()
+        .args([
+            "train",
+            "--log",
+            log.to_str().unwrap(),
+            "--dataset",
+            "JP-ditl",
+            "--scale",
+            "smoke",
+            "--seed",
+            "5",
+            "--save",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&model).unwrap().starts_with("bs-forest v1"));
+
+    let out = bin()
+        .args(["classify", "--log", log.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .output()
+        .expect("classify");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("originator\tqueriers\tclass"));
+    assert!(stdout.lines().count() > 5, "should classify several originators");
+}
+
+#[test]
+fn report_contains_sections() {
+    let log = simulated_log();
+    let out = bin()
+        .args([
+            "report",
+            "--log",
+            log.to_str().unwrap(),
+            "--dataset",
+            "JP-ditl",
+            "--scale",
+            "smoke",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("report");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for section in ["situation report", "class mix", "largest originators", "scanner teams"] {
+        assert!(stdout.contains(section), "missing {section:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn missing_file_errors_without_panic() {
+    let out = bin()
+        .args(["features", "--log", "/definitely/not/a/file.tsv"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+}
