@@ -13,7 +13,9 @@ use crate::class::ApplicationClass;
 use crate::pools::PoolKind;
 use crate::profile::{DiurnalPattern, OriginatorProfile, Targeting};
 use bs_dns::SimTime;
-use bs_netsim::det::{bounded, bounded_pareto, hash2, hash3, log_normal, mix64, unit_f64, weighted_pick};
+use bs_netsim::det::{
+    bounded, bounded_pareto, hash2, hash3, log_normal, mix64, unit_f64, weighted_pick,
+};
 use bs_netsim::types::{ContactKind, CountryCode};
 use bs_netsim::world::{BlockProfile, World};
 use std::net::Ipv4Addr;
@@ -158,10 +160,7 @@ fn scan_kinds(h: u64) -> Vec<ContactKind> {
         (&[ContactKind::ProbeIcmp], 0.15),
         (&[ContactKind::ProbeUdp(53)], 0.05),
         (&[ContactKind::ProbeUdp(123)], 0.05),
-        (
-            &[ContactKind::ProbeTcp(22), ContactKind::ProbeTcp(80), ContactKind::ProbeTcp(443)],
-            0.10,
-        ),
+        (&[ContactKind::ProbeTcp(22), ContactKind::ProbeTcp(80), ContactKind::ProbeTcp(443)], 0.10),
     ];
     let weights: Vec<f64> = CHOICES.iter().map(|c| c.1).collect();
     CHOICES[weighted_pick(h, &weights)].0.to_vec()
@@ -279,10 +278,8 @@ pub fn make_profile(
     let amplitude = s.diurnal.0 + (s.diurnal.1 - s.diurnal.0) * u_amp;
     // Peak hour follows the originator's country (a proxy for local
     // business hours), with jitter.
-    let cc_hash = world
-        .country_of(originator)
-        .map(|c| hash2(1, c.0[0] as u64, c.0[1] as u64))
-        .unwrap_or(0);
+    let cc_hash =
+        world.country_of(originator).map(|c| hash2(1, c.0[0] as u64, c.0[1] as u64)).unwrap_or(0);
     let peak_hour = (bounded(cc_hash, 24) as f64 + unit_f64(mix64(h ^ 0x11)) * 4.0) % 24.0;
     // Regional focus: prefer the originator's own country.
     let focus = if unit_f64(mix64(h ^ 0x22)) < s.focus.0 {
@@ -370,9 +367,8 @@ mod tests {
 
     #[test]
     fn scanner_core_is_long_lived() {
-        let lifetimes: Vec<f64> = (0..600u64)
-            .map(|i| lifetime_days(ApplicationClass::Scan, mix64(i)))
-            .collect();
+        let lifetimes: Vec<f64> =
+            (0..600u64).map(|i| lifetime_days(ApplicationClass::Scan, mix64(i))).collect();
         let long = lifetimes.iter().filter(|l| **l > 100.0).count();
         let frac = long as f64 / lifetimes.len() as f64;
         assert!((0.2..0.55).contains(&frac), "long-lived scanner fraction {frac}");
@@ -407,8 +403,30 @@ mod tests {
     #[test]
     fn rate_scale_multiplies_footprint() {
         let w = world();
-        let base = make_profile(&w, 7, ApplicationClass::Scan, 1, 0, SimTime::ZERO, SimTime::from_days(1), 1.0, None, None);
-        let scaled = make_profile(&w, 7, ApplicationClass::Scan, 1, 0, SimTime::ZERO, SimTime::from_days(1), 0.25, None, None);
+        let base = make_profile(
+            &w,
+            7,
+            ApplicationClass::Scan,
+            1,
+            0,
+            SimTime::ZERO,
+            SimTime::from_days(1),
+            1.0,
+            None,
+            None,
+        );
+        let scaled = make_profile(
+            &w,
+            7,
+            ApplicationClass::Scan,
+            1,
+            0,
+            SimTime::ZERO,
+            SimTime::from_days(1),
+            0.25,
+            None,
+            None,
+        );
         assert!((scaled.targets_per_day / base.targets_per_day - 0.25).abs() < 1e-9);
     }
 

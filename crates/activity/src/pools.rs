@@ -178,7 +178,9 @@ impl TargetPools {
     pub fn build_all(world: &World, size_per_pool: usize, seed: u64) -> Self {
         let pools = PoolKind::ALL
             .iter()
-            .map(|k| (*k, TargetPool::build(world, *k, size_per_pool, hash2(seed, kind_tag(*k), 1))))
+            .map(|k| {
+                (*k, TargetPool::build(world, *k, size_per_pool, hash2(seed, kind_tag(*k), 1)))
+            })
             .collect();
         TargetPools { pools }
     }

@@ -216,11 +216,7 @@ mod tests {
         let mut out = Vec::new();
         p.contacts_into(&w, &pools, SimTime::ZERO, SimTime::from_days(4), &mut out);
         // 4 days × 500 targets ± stochastic rounding.
-        assert!(
-            (1900..=2100).contains(&out.len()),
-            "expected ≈2000 contacts, got {}",
-            out.len()
-        );
+        assert!((1900..=2100).contains(&out.len()), "expected ≈2000 contacts, got {}", out.len());
         for c in &out {
             assert_eq!(c.originator, p.originator);
             assert!(c.time < SimTime::from_days(4));
@@ -288,10 +284,7 @@ mod tests {
         p.targets_per_day = 2000.0;
         let mut out = Vec::new();
         p.contacts_into(&w, &pools, SimTime::ZERO, SimTime::from_days(1), &mut out);
-        let near_peak = out
-            .iter()
-            .filter(|c| (9..15).contains(&c.time.hour_of_day()))
-            .count();
+        let near_peak = out.iter().filter(|c| (9..15).contains(&c.time.hour_of_day())).count();
         let frac = near_peak as f64 / out.len() as f64;
         // A flat pattern would put 25% in this 6-hour window.
         assert!(frac > 0.33, "peak-window fraction {frac}");

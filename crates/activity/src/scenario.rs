@@ -105,11 +105,8 @@ impl Scenario {
         let mut profiles = Vec::new();
 
         for (&class, &n_slots) in &config.slots {
-            let (team_count, team_size) = if class == ApplicationClass::Scan {
-                config.scan_teams
-            } else {
-                (0, 0)
-            };
+            let (team_count, team_size) =
+                if class == ApplicationClass::Scan { config.scan_teams } else { (0, 0) };
             for slot in 0..n_slots as u64 {
                 // Team membership: the first team_count*team_size scan
                 // slots belong to teams; members share a /24 and a
@@ -132,7 +129,12 @@ impl Scenario {
                 // Lifetime seed: per team when in a team (synchronized
                 // churn), else per slot.
                 let life_key = |k: u64| match team {
-                    Some(t) => hash3(config.seed ^ 0x11FE, class.index() as u64 ^ 0x8000, (t as u64) << 20 | k, 3),
+                    Some(t) => hash3(
+                        config.seed ^ 0x11FE,
+                        class.index() as u64 ^ 0x8000,
+                        (t as u64) << 20 | k,
+                        3,
+                    ),
                     None => hash3(config.seed ^ 0x11FE, class.index() as u64, slot << 20 | k, 3),
                 };
                 let l0 = lifetime_days(class, life_key(0));
@@ -229,6 +231,7 @@ impl Scenario {
             p.contacts_into(world, &self.pools, from, until, &mut out);
         }
         out.sort_by_key(|c| (c.time, u32::from(c.originator), u32::from(c.target)));
+        bs_telemetry::counter_add("activity.contacts", out.len() as u64);
         out
     }
 }
@@ -275,11 +278,8 @@ mod tests {
         let s = Scenario::new(&w, cfg);
         // Spam churns fast: its slots must show several incarnations
         // with disjoint, gap-free windows.
-        let mut spam: Vec<&OriginatorProfile> = s
-            .profiles()
-            .iter()
-            .filter(|p| p.class == ApplicationClass::Spam)
-            .collect();
+        let mut spam: Vec<&OriginatorProfile> =
+            s.profiles().iter().filter(|p| p.class == ApplicationClass::Spam).collect();
         assert!(spam.len() > 30, "spam incarnations {}", spam.len());
         spam.sort_by_key(|p| (p.seed, p.active_from));
         // Windows clipped to horizon are monotone in each slot; check by
@@ -341,7 +341,10 @@ mod tests {
         let surge: Vec<_> = s
             .profiles()
             .iter()
-            .filter(|p| p.kinds == vec![ContactKind::ProbeTcp(443)] && p.active_from == SimTime::from_days(10))
+            .filter(|p| {
+                p.kinds == vec![ContactKind::ProbeTcp(443)]
+                    && p.active_from == SimTime::from_days(10)
+            })
             .collect();
         assert_eq!(surge.len(), 12);
         for p in surge {
@@ -368,11 +371,7 @@ mod tests {
         cfg.region = Some((jp, 0.8));
         let s = Scenario::new(&w, cfg);
         let total = s.profiles().len();
-        let in_jp = s
-            .profiles()
-            .iter()
-            .filter(|p| w.country_of(p.originator) == Some(jp))
-            .count();
+        let in_jp = s.profiles().iter().filter(|p| w.country_of(p.originator) == Some(jp)).count();
         let frac = in_jp as f64 / total as f64;
         assert!(frac > 0.6, "jp fraction {frac}");
     }

@@ -72,10 +72,7 @@ pub fn detect_bursts(
     class: ApplicationClass,
     config: &BurstConfig,
 ) -> Vec<Burst> {
-    let counts: Vec<usize> = windows
-        .iter()
-        .map(|w| w.of_class(class).count())
-        .collect();
+    let counts: Vec<usize> = windows.iter().map(|w| w.of_class(class).count()).collect();
     let mut flagged = vec![false; counts.len()];
     for i in 0..counts.len() {
         // Baseline: the most recent `baseline_windows` unflagged

@@ -102,9 +102,7 @@ pub fn top_originator_table(
 /// How many of the top rows are "clean": no darknet evidence and no
 /// blacklist listing (the paper finds 4 of JP's top 30 clean).
 pub fn clean_rows(rows: &[CaseRow]) -> usize {
-    rows.iter()
-        .filter(|r| r.dark_ips == 0 && r.bls == 0 && r.blo == 0)
-        .count()
+    rows.iter().filter(|r| r.dark_ips == 0 && r.bls == 0 && r.blo == 0).count()
 }
 
 #[cfg(test)]
@@ -125,7 +123,11 @@ mod tests {
     struct ToyDn;
     impl DarknetView for ToyDn {
         fn dark_ips(&self, ip: Ipv4Addr) -> u64 {
-            if ip.octets()[3] == 1 { 49_000 } else { 0 }
+            if ip.octets()[3] == 1 {
+                49_000
+            } else {
+                0
+            }
         }
     }
 
@@ -163,8 +165,7 @@ mod tests {
     fn clean_row_counting() {
         let world = World::new(WorldConfig::default());
         let features = feats(&[("10.0.0.3", 100), ("10.0.0.5", 80)]);
-        let rows =
-            top_originator_table(&world, &features, &BTreeMap::new(), &ToyBl, &ToyDn, 10);
+        let rows = top_originator_table(&world, &features, &BTreeMap::new(), &ToyBl, &ToyDn, 10);
         // .3 and .5 are odd → no bls, no darknet → both clean.
         assert_eq!(clean_rows(&rows), 2);
     }

@@ -48,19 +48,12 @@ pub fn persistence_series(
     labeled: &[(Ipv4Addr, ApplicationClass)],
     malicious: bool,
 ) -> Vec<(usize, usize)> {
-    let wanted: BTreeSet<Ipv4Addr> = labeled
-        .iter()
-        .filter(|(_, c)| c.is_malicious() == malicious)
-        .map(|(ip, _)| *ip)
-        .collect();
+    let wanted: BTreeSet<Ipv4Addr> =
+        labeled.iter().filter(|(_, c)| c.is_malicious() == malicious).map(|(ip, _)| *ip).collect();
     windows
         .iter()
         .map(|w| {
-            let present = w
-                .entries
-                .iter()
-                .filter(|e| wanted.contains(&e.originator))
-                .count();
+            let present = w.entries.iter().filter(|e| wanted.contains(&e.originator)).count();
             (w.window, present)
         })
         .collect()
@@ -117,10 +110,8 @@ mod tests {
             (Ipv4Addr::new(10, 0, 0, 2), ApplicationClass::Mail),
             (Ipv4Addr::new(10, 0, 0, 3), ApplicationClass::Scan),
         ];
-        let windows = vec![
-            win(0, &[1, 2, 3], ApplicationClass::Scan),
-            win(1, &[2], ApplicationClass::Scan),
-        ];
+        let windows =
+            vec![win(0, &[1, 2, 3], ApplicationClass::Scan), win(1, &[2], ApplicationClass::Scan)];
         let mal = persistence_series(&windows, &labeled, true);
         assert_eq!(mal, vec![(0, 2), (1, 0)]);
         let ben = persistence_series(&windows, &labeled, false);

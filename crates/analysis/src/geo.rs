@@ -46,13 +46,10 @@ pub fn top_countries(
         return Vec::new();
     };
     let total: usize = per_country.values().sum();
-    let mut v: Vec<(CountryCode, usize)> =
-        per_country.iter().map(|(c, k)| (*c, *k)).collect();
+    let mut v: Vec<(CountryCode, usize)> = per_country.iter().map(|(c, k)| (*c, *k)).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(n);
-    v.into_iter()
-        .map(|(c, k)| (c, k, k as f64 / total.max(1) as f64))
-        .collect()
+    v.into_iter().map(|(c, k)| (c, k, k as f64 / total.max(1) as f64)).collect()
 }
 
 /// Geographic concentration of a class: the fraction of its originators

@@ -14,17 +14,17 @@
 pub mod bursts;
 pub mod cases;
 pub mod churn;
-pub mod report;
 pub mod footprint;
 pub mod geo;
+pub mod report;
 pub mod teams;
 pub mod topn;
 pub mod trends;
 
 pub use bursts::{detect_bursts, Burst, BurstConfig};
 pub use churn::{churn_series, persistence_series, ChurnWeek};
-pub use report::render_report;
 pub use footprint::{ccdf, counts_with_at_least};
+pub use report::render_report;
 pub use teams::{block_series, scan_teams, TeamSummary};
 pub use topn::class_mix_top_n;
 pub use trends::{class_counts_per_window, footprint_boxes, BoxStats};

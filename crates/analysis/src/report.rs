@@ -17,6 +17,7 @@ use std::fmt::Write as _;
 
 /// Render a plain-text report over a classification series.
 pub fn render_report(windows: &[WindowClassification]) -> String {
+    let _span = bs_telemetry::span("analysis.report");
     let mut out = String::new();
     let _ = writeln!(out, "# backscatter situation report");
     let _ = writeln!(out, "windows analyzed: {}", windows.len());
@@ -43,7 +44,13 @@ pub fn render_report(windows: &[WindowClassification]) -> String {
     recent.sort_by(|a, b| b.queriers.cmp(&a.queriers).then(a.originator.cmp(&b.originator)));
     let _ = writeln!(out, "\n## largest originators (latest window)");
     for e in recent.iter().take(10) {
-        let _ = writeln!(out, "  {:15} {:>7} queriers  {}", e.originator.to_string(), e.queriers, e.class);
+        let _ = writeln!(
+            out,
+            "  {:15} {:>7} queriers  {}",
+            e.originator.to_string(),
+            e.queriers,
+            e.class
+        );
     }
 
     // Scanner teams.

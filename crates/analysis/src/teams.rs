@@ -47,14 +47,9 @@ pub fn scan_teams(windows: &[WindowClassification], team_threshold: usize) -> Te
     }
     let scan_blocks: Vec<&(BTreeSet<Ipv4Addr>, BTreeSet<ApplicationClass>)> =
         per_block.values().filter(|(scanners, _)| !scanners.is_empty()).collect();
-    let candidates: Vec<_> = scan_blocks
-        .iter()
-        .filter(|(scanners, _)| scanners.len() >= team_threshold)
-        .collect();
-    let single_class = candidates
-        .iter()
-        .filter(|(_, classes)| classes.len() == 1)
-        .count();
+    let candidates: Vec<_> =
+        scan_blocks.iter().filter(|(scanners, _)| scanners.len() >= team_threshold).collect();
+    let single_class = candidates.iter().filter(|(_, classes)| classes.len() == 1).count();
     TeamSummary {
         scan_originators: scan_ips.len(),
         blocks: scan_blocks.len(),
@@ -96,10 +91,8 @@ pub fn busiest_scan_blocks(windows: &[WindowClassification], n: usize) -> Vec<(I
             per_block.entry(block_of(e.originator)).or_default().insert(e.originator);
         }
     }
-    let mut v: Vec<(Ipv4Addr, usize)> = per_block
-        .into_iter()
-        .map(|(b, ips)| (Ipv4Addr::from(b), ips.len()))
-        .collect();
+    let mut v: Vec<(Ipv4Addr, usize)> =
+        per_block.into_iter().map(|(b, ips)| (Ipv4Addr::from(b), ips.len())).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(n);
     v

@@ -12,11 +12,8 @@ pub fn class_mix_top_n(
     n: usize,
 ) -> BTreeMap<ApplicationClass, usize> {
     let mut sorted: Vec<&ClassifiedOriginator> = entries.iter().collect();
-    sorted.sort_by(|a, b| {
-        b.queriers
-            .cmp(&a.queriers)
-            .then_with(|| a.originator.cmp(&b.originator))
-    });
+    sorted
+        .sort_by(|a, b| b.queriers.cmp(&a.queriers).then_with(|| a.originator.cmp(&b.originator)));
     let mut mix = BTreeMap::new();
     for e in sorted.into_iter().take(n) {
         *mix.entry(e.class).or_insert(0) += 1;
@@ -50,9 +47,8 @@ mod tests {
 
     #[test]
     fn mix_totals_are_bounded_by_n() {
-        let entries: Vec<_> = (0..50u8)
-            .map(|i| entry(i, i as usize, ApplicationClass::Scan))
-            .collect();
+        let entries: Vec<_> =
+            (0..50u8).map(|i| entry(i, i as usize, ApplicationClass::Scan)).collect();
         let mix = class_mix_top_n(&entries, 10);
         assert_eq!(mix.values().sum::<usize>(), 10);
     }

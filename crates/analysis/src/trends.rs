@@ -136,7 +136,8 @@ mod tests {
 
     #[test]
     fn box_stats_on_known_data() {
-        let b = BoxStats::from_footprints(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110]).unwrap();
+        let b =
+            BoxStats::from_footprints(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110]).unwrap();
         assert_eq!(b.min, 10);
         assert_eq!(b.median, 60);
         assert_eq!(b.max, 110);

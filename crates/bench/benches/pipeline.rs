@@ -26,7 +26,9 @@ fn ingestion(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(Throughput::Elements(log.len() as u64));
     g.bench_function("ingest_dedup", |b| {
-        b.iter(|| Observations::ingest(&log, SimTime::ZERO, SimTime::from_hours(12)).originator_count())
+        b.iter(|| {
+            Observations::ingest(&log, SimTime::ZERO, SimTime::from_hours(12)).originator_count()
+        })
     });
     g.bench_function("extract_features", |b| {
         b.iter(|| {
@@ -59,15 +61,37 @@ fn keyword_matcher(c: &mut Criterion) {
     let mut g = c.benchmark_group("static-features");
     g.throughput(Throughput::Elements(names.len() as u64));
     g.bench_function("classify_name", |b| {
-        b.iter(|| {
-            names
-                .iter()
-                .map(|n| classify_name(n) as usize)
-                .sum::<usize>()
-        })
+        b.iter(|| names.iter().map(|n| classify_name(n) as usize).sum::<usize>())
     });
     g.finish();
 }
 
-criterion_group!(benches, ingestion, keyword_matcher);
+/// The same ingest+extract hot path with the telemetry registry off
+/// (the default: one relaxed atomic load per instrumented call) and on
+/// (real counter/histogram updates). The "off" case must stay within
+/// noise of the pre-telemetry baseline.
+fn telemetry_overhead(c: &mut Criterion) {
+    let (world, log) = build_small_log();
+    let run = |world: &World, log: &backscatter_core::netsim::log::QueryLog| {
+        extract_features(
+            log,
+            world,
+            SimTime::ZERO,
+            SimTime::from_hours(12),
+            &FeatureConfig { min_queriers: 10, top_n: None },
+        )
+        .len()
+    };
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(log.len() as u64));
+    backscatter_core::telemetry::disable();
+    g.bench_function("extract_disabled", |b| b.iter(|| run(&world, &log)));
+    backscatter_core::telemetry::enable();
+    g.bench_function("extract_enabled", |b| b.iter(|| run(&world, &log)));
+    backscatter_core::telemetry::disable();
+    g.finish();
+}
+
+criterion_group!(benches, ingestion, keyword_matcher, telemetry_overhead);
 criterion_main!(benches);

@@ -36,10 +36,7 @@ use backscatter_core::netsim::types::NameOutcome as bs_name_outcome;
 
 fn simulator_contacts(c: &mut Criterion) {
     let world = World::new(WorldConfig::default());
-    let scenario = Scenario::new(
-        &world,
-        ScenarioConfig::small(7, SimDuration::from_days(1)),
-    );
+    let scenario = Scenario::new(&world, ScenarioConfig::small(7, SimDuration::from_days(1)));
     let contacts = scenario.contacts_window(&world, SimTime::ZERO, SimTime::from_hours(6));
     let jp = backscatter_core::netsim::types::CountryCode::new("jp").unwrap();
     let mut g = c.benchmark_group("simulator");
@@ -59,10 +56,7 @@ fn simulator_contacts(c: &mut Criterion) {
 
 fn contact_generation(c: &mut Criterion) {
     let world = World::new(WorldConfig::default());
-    let scenario = Scenario::new(
-        &world,
-        ScenarioConfig::small(7, SimDuration::from_days(1)),
-    );
+    let scenario = Scenario::new(&world, ScenarioConfig::small(7, SimDuration::from_days(1)));
     c.bench_function("scenario/contacts_6h", |b| {
         b.iter(|| scenario.contacts_window(&world, SimTime::ZERO, SimTime::from_hours(6)).len())
     });

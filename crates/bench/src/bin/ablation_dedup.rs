@@ -5,14 +5,14 @@
 //! turns the window off / widens it and measures the impact on the
 //! queries-per-querier feature and on classification accuracy.
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
 use backscatter_core::ml::{repeated_holdout, Algorithm, ForestParams};
 use backscatter_core::prelude::*;
 use backscatter_core::sensor::extract_from_observations;
 use backscatter_core::sensor::ingest::Observations;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -30,10 +30,7 @@ fn main() {
             SimDuration::from_secs(dedup_secs),
         );
         let feats = extract_from_observations(&obs, &world, &FeatureConfig::default());
-        let mean_qpq = feats
-            .iter()
-            .map(|f| f.features.dynamic.queries_per_querier)
-            .sum::<f64>()
+        let mean_qpq = feats.iter().map(|f| f.features.dynamic.queries_per_querier).sum::<f64>()
             / feats.len().max(1) as f64;
         let labeled = LabeledSet::curate(&truth, &feats, 140);
         let data = ClassifierPipeline::to_dataset(&labeled, &feature_map(&feats));

@@ -2,16 +2,18 @@
 //! (§III-C: `mail.ns.example.com` is `mail`, not `ns`). The variant
 //! scans components right to left instead, biasing toward suffixes.
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
 use backscatter_core::ml::{repeated_holdout, Algorithm, ForestParams};
-use backscatter_core::prelude::*;
-use backscatter_core::sensor::static_features::{classify_name_with_order, MatchOrder, StaticFeature};
-use backscatter_core::sensor::ingest::Observations;
-use backscatter_core::sensor::{DynamicFeatures, FeatureVector};
 use backscatter_core::netsim::types::NameOutcome;
+use backscatter_core::prelude::*;
+use backscatter_core::sensor::ingest::Observations;
+use backscatter_core::sensor::static_features::{
+    classify_name_with_order, MatchOrder, StaticFeature,
+};
+use backscatter_core::sensor::{DynamicFeatures, FeatureVector};
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -43,7 +45,8 @@ fn extract_with_order(
             for (frac, c) in static_fractions.iter_mut().zip(counts) {
                 *frac = c as f64 / nq;
             }
-            let dynamic = DynamicFeatures::compute(o, world, start, end, total_ases, total_countries);
+            let dynamic =
+                DynamicFeatures::compute(o, world, start, end, total_ases, total_countries);
             backscatter_core::sensor::OriginatorFeatures {
                 originator: o.originator,
                 querier_count: o.querier_count(),
@@ -60,12 +63,14 @@ fn main() {
     let window = built.windows()[0];
     let truth = built.truth_for_window(window);
 
-    heading("Ablation: keyword match order (left-most vs right-most component)", "§III-C design choice");
+    heading(
+        "Ablation: keyword match order (left-most vs right-most component)",
+        "§III-C design choice",
+    );
     let mut rows = Vec::new();
     let mut fractions: BTreeMap<&str, [f64; 2]> = BTreeMap::new();
-    for (i, order) in [MatchOrder::LeftmostFirst, MatchOrder::RightmostFirst]
-        .into_iter()
-        .enumerate()
+    for (i, order) in
+        [MatchOrder::LeftmostFirst, MatchOrder::RightmostFirst].into_iter().enumerate()
     {
         let feats = extract_with_order(&world, &built, order);
         // Aggregate static fractions over all originators.

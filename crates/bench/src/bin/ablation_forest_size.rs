@@ -1,12 +1,12 @@
 //! Ablation: random-forest size and the 10-run majority vote
 //! (§III-D: "we run each 10 times and take the majority").
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
-use backscatter_core::ml::{ConfusionMatrix, Algorithm, ForestParams, MajorityEnsemble};
+use backscatter_core::ml::{Algorithm, ConfusionMatrix, ForestParams, MajorityEnsemble};
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -26,10 +26,7 @@ fn main() {
             let mut accs = Vec::new();
             for rep in 0..10u64 {
                 let (train, test) = data.stratified_split(0.6, 0xF0 + rep);
-                let alg = Algorithm::RandomForest(ForestParams {
-                    n_trees,
-                    ..Default::default()
-                });
+                let alg = Algorithm::RandomForest(ForestParams { n_trees, ..Default::default() });
                 let ensemble = MajorityEnsemble::fit(&alg, &train, runs, 0x51 + rep);
                 let (xs, truth_labels) = test.xy();
                 let predicted: Vec<usize> = xs.iter().map(|x| ensemble.predict(x)).collect();

@@ -5,12 +5,12 @@
 //! count-based variant multiplies each static fraction by the footprint,
 //! re-coupling the features to activity volume.
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
 use backscatter_core::ml::{repeated_holdout, Algorithm, Dataset, ForestParams, Sample};
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();

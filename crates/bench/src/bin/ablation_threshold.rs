@@ -2,12 +2,12 @@
 //! §III-B). Sweeping it trades coverage (how many originators can be
 //! classified) against signal quality per originator.
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
 use backscatter_core::ml::{repeated_holdout, Algorithm, ForestParams};
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -18,11 +18,8 @@ fn main() {
     heading("Ablation: analyzability threshold (minimum unique queriers)", "§III-B design choice");
     let mut rows = Vec::new();
     for min_queriers in [5usize, 10, 20, 50, 100] {
-        let feats = built.features_for_window(
-            &world,
-            window,
-            &FeatureConfig { min_queriers, top_n: None },
-        );
+        let feats =
+            built.features_for_window(&world, window, &FeatureConfig { min_queriers, top_n: None });
         let labeled = LabeledSet::curate(&truth, &feats, 140);
         let data = ClassifierPipeline::to_dataset(&labeled, &feature_map(&feats));
         let rep = repeated_holdout(

@@ -7,11 +7,11 @@
 //! malicious labels halving (a few weeks after curation), far earlier
 //! than any benign-driven trigger.
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{advise, AdvisorConfig, CurationAdvice, LabelHealth, LabeledSet};
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -35,7 +35,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut first_trigger = None;
     for (offset, window) in windows.iter().enumerate().skip(curation) {
-        let fmap = feature_map(&built.features_for_window(&world, *window, &FeatureConfig::default()));
+        let fmap =
+            feature_map(&built.features_for_window(&world, *window, &FeatureConfig::default()));
         let health = LabelHealth::measure(&labels, &fmap);
         let advice = advise(&health, &config);
         if advice != CurationAdvice::Healthy && first_trigger.is_none() {

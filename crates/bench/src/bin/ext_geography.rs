@@ -3,10 +3,10 @@
 //! version of Tables VII/VIII's country annotations: "unreach (CN)",
 //! "nxdom (PK)", and §VI-B's Chinese CDN observation).
 
-use bench::table::{heading, print_table};
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::geo::{concentration, geo_breakdown, top_countries};
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -27,11 +27,7 @@ fn main() {
             .map(|(cc, n, f)| format!("{cc} {n} ({:.0}%)", f * 100.0))
             .collect::<Vec<_>>()
             .join(", ");
-        rows.push(vec![
-            class.name().to_string(),
-            format!("{:.2}", conc),
-            top_str,
-        ]);
+        rows.push(vec![class.name().to_string(), format!("{:.2}", conc), top_str]);
     }
     print_table(&["class", "concentration", "top countries"], &rows);
     println!();

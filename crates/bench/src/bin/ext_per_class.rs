@@ -3,12 +3,12 @@
 //! classes where the training data is sparse: ntp, update, ad-tracker,
 //! and cdn … p2p is sometimes misclassified as scan").
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
 use backscatter_core::ml::{Algorithm, ConfusionMatrix, ForestParams, MajorityEnsemble};
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -40,7 +40,10 @@ fn main() {
     }
     let cm = ConfusionMatrix::from_predictions(12, &all_truth, &all_pred);
 
-    heading("Extension: per-class accuracy on JP-ditl (25 holdouts aggregated)", "§IV-C discussion");
+    heading(
+        "Extension: per-class accuracy on JP-ditl (25 holdouts aggregated)",
+        "§IV-C discussion",
+    );
     let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".to_string());
     let rows: Vec<Vec<String>> = cm
         .per_class()
@@ -55,14 +58,7 @@ fn main() {
                     ApplicationClass::from_index(p).map(|c| format!("{} ({n})", c.name()))
                 })
                 .unwrap_or_else(|| "-".to_string());
-            vec![
-                name,
-                r.support.to_string(),
-                fmt(r.precision),
-                fmt(r.recall),
-                fmt(r.f1),
-                confusion,
-            ]
+            vec![name, r.support.to_string(), fmt(r.precision), fmt(r.recall), fmt(r.f1), confusion]
         })
         .collect();
     print_table(

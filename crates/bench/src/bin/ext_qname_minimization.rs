@@ -6,10 +6,10 @@
 //! We sweep the fraction of minimizing resolvers and measure how many
 //! analyzable originators survive at each authority level.
 
-use bench::standard_world;
-use bench::table::{heading, print_table};
 use backscatter_core::netsim::types::CountryCode;
 use backscatter_core::prelude::*;
+use bench::standard_world;
+use bench::table::{heading, print_table};
 
 fn main() {
     let world = standard_world();
@@ -42,8 +42,7 @@ fn main() {
             AuthorityId::Root(RootServer::B),
             AuthorityId::Root(RootServer::M),
         ];
-        let config =
-            SimulatorConfig::observing(observed).with_qname_minimization(adoption);
+        let config = SimulatorConfig::observing(observed).with_qname_minimization(adoption);
         let mut sim = Simulator::new(&world, config);
         sim.process(contacts.iter().copied());
         let logs = sim.into_logs();
@@ -68,12 +67,7 @@ fn main() {
         ]);
     }
     print_table(
-        &[
-            "qmin adoption",
-            "national log records",
-            "analyzable @ national",
-            "analyzable @ roots",
-        ],
+        &["qmin adoption", "national log records", "analyzable @ national", "analyzable @ roots"],
         &rows,
     );
     println!();

@@ -3,10 +3,10 @@
 //! (spam and scan dominate the top-100), while infrastructure classes
 //! (mail, cloud, cdn, crawler) grow as smaller originators enter.
 
-use bench::table::{heading, print_table};
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::topn::class_mix_top_n;
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();

@@ -3,10 +3,10 @@
 //! >25 % scan bump in the weeks after the Heartbleed-style disclosure
 //! (~20 % into the span) and a smaller one near the end (Shellshock).
 
-use bench::table::{heading, print_table};
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::trends::class_counts_per_window;
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -28,11 +28,7 @@ fn main() {
         .iter()
         .map(|(w, per_class, total)| {
             let mut row = vec![w.to_string(), total.to_string()];
-            row.extend(
-                shown
-                    .iter()
-                    .map(|c| per_class.get(c).copied().unwrap_or(0).to_string()),
-            );
+            row.extend(shown.iter().map(|c| per_class.get(c).copied().unwrap_or(0).to_string()));
             row
         })
         .collect();
@@ -46,11 +42,7 @@ fn main() {
     let n = scan.len();
     let surge_start = (n as f64 * 0.195) as usize;
     let window = &scan[surge_start..(surge_start + 3).min(n)];
-    let baseline: Vec<usize> = scan
-        .iter()
-        .take(surge_start.max(1))
-        .copied()
-        .collect();
+    let baseline: Vec<usize> = scan.iter().take(surge_start.max(1)).copied().collect();
     let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
     println!();
     println!(

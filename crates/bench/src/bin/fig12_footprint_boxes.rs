@@ -3,10 +3,10 @@
 //! percentile — a core of steady scanners plus occasional very large
 //! ones.
 
-use bench::table::{heading, print_table};
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::trends::footprint_boxes;
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();

@@ -2,11 +2,11 @@
 //! scanner, medium-lived scanners, and short burst scanners that appear
 //! only around the disclosure event.
 
-use bench::table::heading;
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::trends::originator_traces;
 use backscatter_core::netsim::types::ContactKind;
 use backscatter_core::prelude::*;
+use bench::table::heading;
+use bench::{classification_series, load_dataset, standard_world};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -48,9 +48,8 @@ fn main() {
     for (ip, _) in by_longevity.iter().take(2) {
         chosen.push(**ip);
     }
-    if let Some((ip, _)) = by_longevity
-        .iter()
-        .find(|(_, weeks)| weeks.len() >= 4 && weeks.len() <= n_weeks / 3)
+    if let Some((ip, _)) =
+        by_longevity.iter().find(|(_, weeks)| weeks.len() >= 4 && weeks.len() <= n_weeks / 3)
     {
         chosen.push(**ip);
     }
@@ -70,13 +69,7 @@ fn main() {
     for ip in &chosen {
         let Some(trace) = traces.get(ip) else { continue };
         println!();
-        println!(
-            "# {} ({}) — present {} of {} weeks",
-            ip,
-            port_of(*ip),
-            trace.len(),
-            n_weeks
-        );
+        println!("# {} ({}) — present {} of {} weeks", ip, port_of(*ip), trace.len(), n_weeks);
         for (w, q) in trace {
             println!("{w}\t{q}");
         }

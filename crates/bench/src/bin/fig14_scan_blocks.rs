@@ -1,10 +1,10 @@
 //! Fig. 14 + §VI-B team statistics: /24 blocks originating scanning
 //! over time, and how many blocks look like coordinated teams.
 
-use bench::table::heading;
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::teams::{block_series, busiest_scan_blocks, scan_teams};
 use backscatter_core::prelude::*;
+use bench::table::heading;
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();

@@ -2,10 +2,10 @@
 //! and departing. Expected shape: a stable continuing core with roughly
 //! 20 % weekly turnover.
 
-use bench::table::{heading, print_table};
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::churn::churn_series;
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();

@@ -2,11 +2,11 @@
 //! the six case studies. Expected shape: diurnal cycles for ad-tracker,
 //! cdn, and mail; flat automation for scan-ssh and spam.
 
+use backscatter_core::prelude::*;
+use backscatter_core::sensor::ingest::Observations;
 use bench::harness::case_studies;
 use bench::table::{heading, print_table};
 use bench::{load_dataset, standard_world};
-use backscatter_core::prelude::*;
-use backscatter_core::sensor::ingest::Observations;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -47,9 +47,8 @@ fn main() {
     println!();
     println!("hourly coefficient of variation (higher = more diurnal):");
     for (i, (name, _)) in cases.iter().enumerate() {
-        let counts: Vec<f64> = (0..hours)
-            .map(|h| per_case[i].get(&h).map(|s| s.len()).unwrap_or(0) as f64)
-            .collect();
+        let counts: Vec<f64> =
+            (0..hours).map(|h| per_case[i].get(&h).map(|s| s.len()).unwrap_or(0) as f64).collect();
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
         let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
         let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };

@@ -2,11 +2,11 @@
 //! each originator's queriers whose reverse names fall in each keyword
 //! category, on JP-ditl.
 
+use backscatter_core::prelude::*;
+use backscatter_core::sensor::StaticFeature;
 use bench::harness::case_studies;
 use bench::table::{f3, heading, print_table};
 use bench::{load_dataset, standard_world};
-use backscatter_core::prelude::*;
-use backscatter_core::sensor::StaticFeature;
 
 fn main() {
     let world = standard_world();

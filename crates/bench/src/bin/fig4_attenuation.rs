@@ -4,12 +4,12 @@
 //! authority (the paper fits exponent ≈ 0.71 at roughly one querier per
 //! thousand targets) and orders-of-magnitude fewer queriers at roots.
 
-use bench::standard_world;
-use bench::table::{heading, print_table};
 use backscatter_core::netsim::experiment::{power_law_fit, run_controlled_scan, ControlledScan};
 use backscatter_core::netsim::hierarchy::Delegation;
 use backscatter_core::netsim::types::ContactKind;
 use backscatter_core::prelude::*;
+use bench::standard_world;
+use bench::table::{heading, print_table};
 
 fn main() {
     let world = standard_world();
@@ -59,6 +59,9 @@ fn main() {
         println!("power-law fit at final authority: queriers ≈ {c:.4} · targets^{p:.2}");
         println!("(paper: sub-linear, exponent ≈ 0.71; ≈ 1 querier per 1000 targets)");
         let at_4m = c * (4_000_000f64).powf(p);
-        println!("fitted queriers at 4M targets: {at_4m:.0} (≈ 1 per {:.0} targets)", 4_000_000.0 / at_4m);
+        println!(
+            "fitted queriers at 4M targets: {at_4m:.0} (≈ 1 per {:.0} targets)",
+            4_000_000.0 / at_4m
+        );
     }
 }

@@ -4,11 +4,13 @@
 //! far longer; automatically growing the label set from classifier
 //! output compounds error and collapses.
 
-use bench::table::heading;
-use bench::{load_dataset, standard_world};
-use backscatter_core::classify::{evaluate_strategy, ClassifierPipeline, TrainingStrategy, WindowData};
+use backscatter_core::classify::{
+    evaluate_strategy, ClassifierPipeline, TrainingStrategy, WindowData,
+};
 use backscatter_core::ml::{Algorithm, ForestParams};
 use backscatter_core::prelude::*;
+use bench::table::heading;
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -67,11 +69,8 @@ fn main() {
     let run = |strategy: TrainingStrategy, seq: &[WindowData]| {
         evaluate_strategy(strategy, seq, &pipeline, 140, 0x716)
     };
-    let strategies = [
-        TrainingStrategy::TrainOnce,
-        TrainingStrategy::RetrainDaily,
-        TrainingStrategy::AutoGrow,
-    ];
+    let strategies =
+        [TrainingStrategy::TrainOnce, TrainingStrategy::RetrainDaily, TrainingStrategy::AutoGrow];
     let mut fwd: Vec<_> = strategies.iter().map(|s| run(*s, &forward)).collect();
     let mut bwd: Vec<_> = strategies.iter().map(|s| run(*s, &backward)).collect();
     fwd.push(evaluate_strategy(TrainingStrategy::AutoGrow, &forward, &weak, 140, 0x716));

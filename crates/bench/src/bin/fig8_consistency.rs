@@ -3,10 +3,10 @@
 //! Expected shape: more queriers → more consistent votes; the large
 //! majority of originators have a strict-majority class (r > 0.5).
 
-use bench::table::heading;
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::classify::{consistency_cdf, consistency_ratios, vote_entropy, WeeklyVote};
 use backscatter_core::prelude::*;
+use bench::table::heading;
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();

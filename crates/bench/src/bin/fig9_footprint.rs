@@ -1,20 +1,15 @@
 //! Fig. 9: distribution of originator footprint sizes per dataset —
 //! heavy-tailed, with hundreds of large originators.
 
-use bench::table::heading;
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::analysis::footprint::{ccdf, counts_with_at_least};
 use backscatter_core::prelude::*;
+use bench::table::heading;
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
     heading("Fig. 9: distribution of originator footprint size", "Figure 9");
-    for id in [
-        DatasetId::JpDitl,
-        DatasetId::BPostDitl,
-        DatasetId::MDitl,
-        DatasetId::MSampled,
-    ] {
+    for id in [DatasetId::JpDitl, DatasetId::BPostDitl, DatasetId::MDitl, DatasetId::MSampled] {
         let built = load_dataset(&world, id);
         let series = classification_series(&world, &built);
         // For multi-window datasets, use the first window (the paper

@@ -1,0 +1,64 @@
+//! Machine-readable pipeline performance snapshot.
+//!
+//! Runs the smoke-scale JP-ditl pipeline end to end twice — once with
+//! the telemetry registry disabled (the overhead baseline) and once
+//! enabled — then writes the enabled run's full telemetry snapshot to
+//! `BENCH_pipeline.json` at the workspace root. Future changes compare
+//! their stage latencies (`core.curate` / `core.retrain` /
+//! `core.classify`, nanosecond histograms) against this file, and the
+//! two wall-clock gauges bound the cost of telemetry itself.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin perf_snapshot
+//! ```
+
+use backscatter_core::prelude::*;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn run_pipeline(world: &World) -> usize {
+    let spec = DatasetSpec::paper(DatasetId::JpDitl, Scale::smoke(), 7);
+    let built = build_dataset(world, spec);
+    let mut pipeline = DatasetPipeline::default();
+    pipeline.feature_config.min_queriers = 10;
+    let run = pipeline.run(world, &built);
+    run.windows.iter().map(|w| w.entries.len()).sum()
+}
+
+fn main() {
+    let world = backscatter_core::netsim::world::World::new(WorldConfig::default());
+
+    // Baseline: telemetry compiled in but disabled (the default state).
+    backscatter_core::telemetry::disable();
+    let t0 = Instant::now();
+    let classified_off = run_pipeline(&world);
+    let off_ms = t0.elapsed().as_millis() as i64;
+
+    // Instrumented run: everything counted and timed.
+    backscatter_core::telemetry::reset();
+    backscatter_core::telemetry::enable();
+    let t0 = Instant::now();
+    let classified_on = run_pipeline(&world);
+    let on_ms = t0.elapsed().as_millis() as i64;
+    assert_eq!(classified_on, classified_off, "telemetry must not change results");
+
+    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_disabled", off_ms);
+    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_enabled", on_ms);
+
+    let out: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels under the workspace root")
+        .join("BENCH_pipeline.json");
+    let json = backscatter_core::telemetry::snapshot_json();
+    std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
+
+    bs_telemetry::info!(
+        "bench",
+        "wrote {}", out.display();
+        classified = classified_on,
+        wall_ms_disabled = off_ms,
+        wall_ms_enabled = on_ms,
+    );
+    print!("{json}");
+}

@@ -5,9 +5,9 @@
 //! loaded from cache); the long ones are reported from cache when a
 //! longitudinal binary has built them, and from their specs otherwise.
 
+use backscatter_core::prelude::*;
 use bench::table::{heading, print_table};
 use bench::{load_dataset, standard_world};
-use backscatter_core::prelude::*;
 
 fn main() {
     let world = standard_world();

@@ -1,9 +1,9 @@
 //! Table II: dynamic features for the six case studies on JP-ditl.
 
+use backscatter_core::prelude::*;
 use bench::harness::case_studies;
 use bench::table::{f3, heading, print_table};
 use bench::{load_dataset, standard_world};
-use backscatter_core::prelude::*;
 
 fn main() {
     let world = standard_world();

@@ -4,21 +4,16 @@
 //! randomized learners. Expected shape: RF best everywhere; accuracy in
 //! the 0.6–0.85 band; roots no better than the national authority.
 
-use bench::table::{heading, print_table};
-use bench::{classification_series, load_dataset, standard_world};
 use backscatter_core::ml::repeated_holdout;
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
     heading("Table III: validating classification against labeled ground truth", "Table III");
     let mut rows = Vec::new();
-    for id in [
-        DatasetId::JpDitl,
-        DatasetId::BPostDitl,
-        DatasetId::MDitl,
-        DatasetId::MSampled,
-    ] {
+    for id in [DatasetId::JpDitl, DatasetId::BPostDitl, DatasetId::MDitl, DatasetId::MSampled] {
         let built = load_dataset(&world, id);
         // Short datasets curate once over their whole window; M-sampled
         // merges three curation dates spread over the nine months, like
@@ -53,8 +48,5 @@ fn main() {
             let _ = classification_series(&world, &built);
         }
     }
-    print_table(
-        &["dataset", "algorithm", "accuracy", "precision", "recall", "F1-score"],
-        &rows,
-    );
+    print_table(&["dataset", "algorithm", "accuracy", "precision", "recall", "F1-score"], &rows);
 }

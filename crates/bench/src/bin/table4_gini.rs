@@ -3,13 +3,13 @@
 //! nxdomain, unreach among the top static features; a rate or entropy
 //! feature in the top six.
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::pipeline::feature_map;
 use backscatter_core::classify::{ClassifierPipeline, LabeledSet};
 use backscatter_core::ml::{Forest, ForestParams};
 use backscatter_core::prelude::*;
 use backscatter_core::sensor::FeatureVector;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -23,10 +23,8 @@ fn main() {
         let labeled = LabeledSet::curate(&truth, &feats, 140);
         let data = ClassifierPipeline::to_dataset(&labeled, &feature_map(&feats));
         let forest = Forest::fit(&data, &ForestParams::default(), 0x6111);
-        per_dataset.push((
-            id.name().to_string(),
-            forest.ranked_importances(&FeatureVector::names()),
-        ));
+        per_dataset
+            .push((id.name().to_string(), forest.ranked_importances(&FeatureVector::names())));
     }
     let mut rows = Vec::new();
     for rank in 0..6 {

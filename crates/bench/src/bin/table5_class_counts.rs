@@ -4,21 +4,16 @@
 //! seeing more CDN than B-Root; scan and spam dominate the long
 //! M-sampled feed.
 
+use backscatter_core::prelude::*;
 use bench::table::{heading, print_table};
 use bench::{classification_series, load_dataset, standard_world};
-use backscatter_core::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
     let world = standard_world();
     heading("Table V: number of originators in each class", "Table V");
     let mut per_dataset: Vec<(String, BTreeMap<ApplicationClass, usize>)> = Vec::new();
-    for id in [
-        DatasetId::JpDitl,
-        DatasetId::BPostDitl,
-        DatasetId::MDitl,
-        DatasetId::MSampled,
-    ] {
+    for id in [DatasetId::JpDitl, DatasetId::BPostDitl, DatasetId::MDitl, DatasetId::MSampled] {
         let built = load_dataset(&world, id);
         let series = classification_series(&world, &built);
         // Short datasets have one window; for M-sampled, Table V counts
@@ -36,15 +31,16 @@ fn main() {
     let mut header: Vec<String> = vec!["data".to_string()];
     header.extend(ApplicationClass::ALL.iter().map(|c| c.name().to_string()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let rows: Vec<Vec<String>> = per_dataset
-        .iter()
-        .map(|(name, counts)| {
-            let mut row = vec![name.clone()];
-            row.extend(ApplicationClass::ALL.iter().map(|c| {
-                counts.get(c).map(|n| n.to_string()).unwrap_or_else(|| "-".to_string())
-            }));
-            row
-        })
-        .collect();
+    let rows: Vec<Vec<String>> =
+        per_dataset
+            .iter()
+            .map(|(name, counts)| {
+                let mut row = vec![name.clone()];
+                row.extend(ApplicationClass::ALL.iter().map(|c| {
+                    counts.get(c).map(|n| n.to_string()).unwrap_or_else(|| "-".to_string())
+                }));
+                row
+            })
+            .collect();
     print_table(&header_refs, &rows);
 }

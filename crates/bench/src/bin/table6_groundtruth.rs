@@ -1,10 +1,10 @@
 //! Table VI: labeled ground-truth examples per class per dataset —
 //! what expert curation (oracles ∩ top originators) yields.
 
-use bench::table::{heading, print_table};
-use bench::{load_dataset, standard_world};
 use backscatter_core::classify::LabeledSet;
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{load_dataset, standard_world};
 
 fn main() {
     let world = standard_world();
@@ -15,12 +15,7 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
 
     let mut rows = Vec::new();
-    for id in [
-        DatasetId::JpDitl,
-        DatasetId::BPostDitl,
-        DatasetId::MDitl,
-        DatasetId::MSampled,
-    ] {
+    for id in [DatasetId::JpDitl, DatasetId::BPostDitl, DatasetId::MDitl, DatasetId::MSampled] {
         let built = load_dataset(&world, id);
         // Long feeds merge three curation dates, like the paper's
         // M-sampled protocol (and like table3_accuracy).
@@ -35,9 +30,11 @@ fn main() {
         }
         let counts = labeled.class_counts();
         let mut row = vec![id.name().to_string()];
-        row.extend(ApplicationClass::ALL.iter().map(|c| {
-            counts.get(c).map(|n| n.to_string()).unwrap_or_else(|| "-".to_string())
-        }));
+        row.extend(
+            ApplicationClass::ALL
+                .iter()
+                .map(|c| counts.get(c).map(|n| n.to_string()).unwrap_or_else(|| "-".to_string())),
+        );
         row.push(labeled.len().to_string());
         rows.push(row);
     }

@@ -5,12 +5,12 @@
 //! darknet evidence and only a few "clean" rows; at M-Root, CDNs and
 //! scanners (often from undelegated space) dominate.
 
-use bench::table::{heading, print_table};
-use bench::{classification_series, load_dataset, standard_world};
-use backscatter_core::analysis::cases::{clean_rows, top_originator_table, CaseRow, TtlColumn};
 use backscatter_core::analysis::cases::bs_datasets_types::{BlacklistView, DarknetView};
+use backscatter_core::analysis::cases::{clean_rows, top_originator_table, CaseRow, TtlColumn};
 use backscatter_core::datasets::{Blacklist, Darknet};
 use backscatter_core::prelude::*;
+use bench::table::{heading, print_table};
+use bench::{classification_series, load_dataset, standard_world};
 use std::collections::BTreeMap;
 
 struct Bl<'a>(&'a Blacklist);
@@ -68,11 +68,8 @@ fn main() {
     ] {
         let built = load_dataset(&world, id);
         let series = classification_series(&world, &built);
-        let classified: BTreeMap<_, _> = series[0]
-            .entries
-            .iter()
-            .map(|e| (e.originator, e.class))
-            .collect();
+        let classified: BTreeMap<_, _> =
+            series[0].entries.iter().map(|e| (e.originator, e.class)).collect();
         let window = built.windows()[0];
         let feats = built.features_for_window(&world, window, &FeatureConfig::default());
         heading(what, "Tables VII/VIII");

@@ -27,13 +27,16 @@ pub fn cache_dir() -> PathBuf {
 pub fn load_log(key: &str) -> Option<QueryLog> {
     let path = cache_dir().join(format!("{key}.log.tsv"));
     let text = fs::read_to_string(path).ok()?;
-    QueryLog::from_tsv(&text).ok()
+    let log = QueryLog::from_tsv(&text).ok()?;
+    bs_telemetry::debug!("bench.cache", "log cache hit"; key = key, records = log.len());
+    Some(log)
 }
 
 /// Store a query log under a cache key.
 pub fn store_log(key: &str, log: &QueryLog) {
     let path = cache_dir().join(format!("{key}.log.tsv"));
     fs::write(path, log.to_tsv()).expect("write log cache");
+    bs_telemetry::debug!("bench.cache", "log cached"; key = key, records = log.len());
 }
 
 /// Load a cached classification series.
@@ -54,9 +57,7 @@ pub fn load_series(key: &str) -> Option<Vec<WindowClassification>> {
         while windows.len() <= window {
             windows.push(WindowClassification { window: windows.len(), entries: Vec::new() });
         }
-        windows[window]
-            .entries
-            .push(ClassifiedOriginator { originator, queriers, class });
+        windows[window].entries.push(ClassifiedOriginator { originator, queriers, class });
     }
     if windows.is_empty() {
         None
@@ -70,10 +71,7 @@ pub fn store_series(key: &str, series: &[WindowClassification]) {
     let mut out = String::new();
     for w in series {
         for e in &w.entries {
-            out.push_str(&format!(
-                "{}\t{}\t{}\t{}\n",
-                w.window, e.originator, e.queriers, e.class
-            ));
+            out.push_str(&format!("{}\t{}\t{}\t{}\n", w.window, e.originator, e.queriers, e.class));
         }
     }
     let path = cache_dir().join(format!("{key}.series.tsv"));

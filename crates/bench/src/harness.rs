@@ -17,17 +17,18 @@ pub fn load_dataset(world: &World, id: DatasetId) -> BuiltDataset {
     let spec = DatasetSpec::paper(id, Scale::standard(), 1);
     let key = format!("{}-s1", id.name());
     if let Some(log) = cache::load_log(&key) {
-        eprintln!("[bench] {key}: using cached log ({} records)", log.len());
+        bs_telemetry::info!("bench", "{key}: using cached log"; records = log.len());
         return backscatter_core::datasets::build::assemble_with_log(world, spec, log);
     }
-    eprintln!("[bench] {key}: simulating (this can take minutes for long datasets)…");
+    bs_telemetry::info!("bench", "{key}: simulating (this can take minutes for long datasets)…");
     let t0 = Instant::now();
     let built = build_dataset(world, spec);
-    eprintln!(
-        "[bench] {key}: simulated {} contacts → {} log records in {:.0}s",
-        built.stats.contacts,
-        built.log.len(),
-        t0.elapsed().as_secs_f64()
+    bs_telemetry::info!(
+        "bench",
+        "{key}: simulated";
+        contacts = built.stats.contacts,
+        records = built.log.len(),
+        secs = format!("{:.0}", t0.elapsed().as_secs_f64()),
     );
     cache::store_log(&key, &built.log);
     built
@@ -39,10 +40,10 @@ pub fn load_dataset(world: &World, id: DatasetId) -> BuiltDataset {
 pub fn classification_series(world: &World, built: &BuiltDataset) -> Vec<WindowClassification> {
     let key = format!("{}-s1-rf", built.spec.id.name());
     if let Some(series) = cache::load_series(&key) {
-        eprintln!("[bench] {key}: using cached classification series");
+        bs_telemetry::info!("bench", "{key}: using cached classification series");
         return series;
     }
-    eprintln!("[bench] {key}: classifying {} windows…", built.windows().len());
+    bs_telemetry::info!("bench", "{key}: classifying"; windows = built.windows().len());
     let t0 = Instant::now();
     let mut pipeline = DatasetPipeline::default();
     let n = built.windows().len();
@@ -52,7 +53,11 @@ pub fn classification_series(world: &World, built: &BuiltDataset) -> Vec<WindowC
         pipeline.curation_windows = vec![0, n / 3, 2 * n / 3];
     }
     let run = pipeline.run(world, built);
-    eprintln!("[bench] {key}: classified in {:.0}s", t0.elapsed().as_secs_f64());
+    bs_telemetry::info!(
+        "bench",
+        "{key}: classified";
+        secs = format!("{:.0}", t0.elapsed().as_secs_f64()),
+    );
     cache::store_series(&key, &run.windows);
     run.windows
 }
@@ -77,10 +82,7 @@ pub fn case_studies(
     let mut picks: std::collections::BTreeMap<&'static str, OriginatorFeatures> =
         std::collections::BTreeMap::new();
     let mut consider = |name: &'static str, f: &OriginatorFeatures| {
-        let better = picks
-            .get(name)
-            .map(|cur| f.querier_count > cur.querier_count)
-            .unwrap_or(true);
+        let better = picks.get(name).map(|cur| f.querier_count > cur.querier_count).unwrap_or(true);
         if better {
             picks.insert(name, f.clone());
         }
@@ -107,10 +109,7 @@ pub fn case_studies(
         };
         consider(case, f);
     }
-    CASE_STUDIES
-        .iter()
-        .filter_map(|name| picks.get(name).map(|f| (*name, f.clone())))
-        .collect()
+    CASE_STUDIES.iter().filter_map(|name| picks.get(name).map(|f| (*name, f.clone()))).collect()
 }
 
 /// Ground-truth (oracle) classification series: the same windows, but
@@ -219,12 +218,8 @@ pub fn persistence_figure(malicious: bool) {
     }
 
     // Quantify the decay rate after curation.
-    let at = |offset: usize| {
-        persistence
-            .get(curation_window + offset)
-            .map(|(_, n)| *n)
-            .unwrap_or(0)
-    };
+    let at =
+        |offset: usize| persistence.get(curation_window + offset).map(|(_, n)| *n).unwrap_or(0);
     let peak = at(0).max(1);
     println!(
         "# retention after curation: +4 weeks {:.0}%, +12 weeks {:.0}%, +24 weeks {:.0}%",

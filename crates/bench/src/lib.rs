@@ -19,4 +19,4 @@ pub mod cache;
 pub mod harness;
 pub mod table;
 
-pub use harness::{standard_world, load_dataset, classification_series};
+pub use harness::{classification_series, load_dataset, standard_world};

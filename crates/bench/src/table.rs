@@ -4,7 +4,9 @@
 pub fn heading(what: &str, paper_ref: &str) {
     println!();
     println!("== {what} ==");
-    println!("   (reproduces {paper_ref}; shapes comparable, absolute numbers are simulator-scale)");
+    println!(
+        "   (reproduces {paper_ref}; shapes comparable, absolute numbers are simulator-scale)"
+    );
 }
 
 /// Print a fixed-width table: a header row then data rows. Column

@@ -119,10 +119,8 @@ pub fn advise_series(
     windows: &[FeatureMap],
     config: &AdvisorConfig,
 ) -> (Vec<CurationAdvice>, Option<usize>) {
-    let advice: Vec<CurationAdvice> = windows
-        .iter()
-        .map(|w| advise(&LabelHealth::measure(labels, w), config))
-        .collect();
+    let advice: Vec<CurationAdvice> =
+        windows.iter().map(|w| advise(&LabelHealth::measure(labels, w), config)).collect();
     let first = advice.iter().position(|a| *a != CurationAdvice::Healthy);
     (advice, first)
 }
@@ -181,7 +179,10 @@ mod tests {
         let l = labels(20, 20);
         let cfg = AdvisorConfig::default();
         // Fresh: everything active.
-        assert_eq!(advise(&LabelHealth::measure(&l, &window(20, 20)), &cfg), CurationAdvice::Healthy);
+        assert_eq!(
+            advise(&LabelHealth::measure(&l, &window(20, 20)), &cfg),
+            CurationAdvice::Healthy
+        );
         // Malicious halved-minus-one: malicious-only recuration.
         assert_eq!(
             advise(&LabelHealth::measure(&l, &window(9, 19)), &cfg),

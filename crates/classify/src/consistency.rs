@@ -47,10 +47,8 @@ pub fn consistency_ratios(
             for c in &classes {
                 *counts.entry(*c).or_insert(0) += 1;
             }
-            let (majority, n) = counts
-                .into_iter()
-                .max_by_key(|(_, n)| *n)
-                .expect("non-empty votes");
+            let (majority, n) =
+                counts.into_iter().max_by_key(|(_, n)| *n).expect("non-empty votes");
             (ip, n as f64 / classes.len() as f64, majority, classes.len())
         })
         .collect()
@@ -97,11 +95,7 @@ pub fn consistency_cdf(ratios: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted = ratios.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
     let n = sorted.len() as f64;
-    sorted
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (*r, (i + 1) as f64 / n))
-        .collect()
+    sorted.iter().enumerate().map(|(i, r)| (*r, (i + 1) as f64 / n)).collect()
 }
 
 #[cfg(test)]
@@ -114,9 +108,8 @@ mod tests {
 
     #[test]
     fn perfectly_consistent_originator_has_r_one() {
-        let votes: Vec<WeeklyVote> = (0..8)
-            .map(|w| vote("10.0.0.1", w, ApplicationClass::Scan, 30))
-            .collect();
+        let votes: Vec<WeeklyVote> =
+            (0..8).map(|w| vote("10.0.0.1", w, ApplicationClass::Scan, 30)).collect();
         let r = consistency_ratios(&votes, 20, 4);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].1, 1.0);

@@ -38,18 +38,17 @@ impl LabeledSet {
         let mut by_class: BTreeMap<ApplicationClass, Vec<(usize, Ipv4Addr)>> = BTreeMap::new();
         for f in observed {
             if let Some(class) = truth.get(&f.originator) {
-                by_class
-                    .entry(*class)
-                    .or_default()
-                    .push((f.querier_count, f.originator));
+                by_class.entry(*class).or_default().push((f.querier_count, f.originator));
             }
         }
         let mut examples = Vec::new();
         for (class, mut v) in by_class {
             v.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
             v.truncate(per_class_cap);
-            examples.extend(v.into_iter().map(|(_, originator)| LabeledExample { originator, class }));
+            examples
+                .extend(v.into_iter().map(|(_, originator)| LabeledExample { originator, class }));
         }
+        bs_telemetry::counter_add("classify.curated_examples", examples.len() as u64);
         LabeledSet { examples }
     }
 
@@ -74,11 +73,7 @@ impl LabeledSet {
 
     /// Classes with at least `min` examples.
     pub fn classes_with_at_least(&self, min: usize) -> Vec<ApplicationClass> {
-        self.class_counts()
-            .into_iter()
-            .filter(|(_, n)| *n >= min)
-            .map(|(c, _)| c)
-            .collect()
+        self.class_counts().into_iter().filter(|(_, n)| *n >= min).map(|(c, _)| c).collect()
     }
 
     /// The examples whose originators appear in `features` — the
@@ -87,10 +82,7 @@ impl LabeledSet {
         &'a self,
         features: &BTreeMap<Ipv4Addr, bs_sensor::FeatureVector>,
     ) -> Vec<&'a LabeledExample> {
-        self.examples
-            .iter()
-            .filter(|e| features.contains_key(&e.originator))
-            .collect()
+        self.examples.iter().filter(|e| features.contains_key(&e.originator)).collect()
     }
 
     /// Merge `other` into `self`, keeping existing labels on conflict.
@@ -108,7 +100,7 @@ impl LabeledSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bs_sensor::{FeatureVector, DynamicFeatures};
+    use bs_sensor::{DynamicFeatures, FeatureVector};
 
     fn feat(ip: &str, queriers: usize) -> OriginatorFeatures {
         OriginatorFeatures {
@@ -157,10 +149,8 @@ mod tests {
 
     #[test]
     fn reappearing_filters_by_feature_presence() {
-        let t = truth(&[
-            ("10.0.0.1", ApplicationClass::Spam),
-            ("10.0.0.2", ApplicationClass::Scan),
-        ]);
+        let t =
+            truth(&[("10.0.0.1", ApplicationClass::Spam), ("10.0.0.2", ApplicationClass::Scan)]);
         let observed = vec![feat("10.0.0.1", 50), feat("10.0.0.2", 30)];
         let set = LabeledSet::curate(&t, &observed, 10);
         let mut fmap = BTreeMap::new();

@@ -29,4 +29,6 @@ pub use advisor::{advise, advise_series, AdvisorConfig, CurationAdvice, LabelHea
 pub use consistency::{consistency_cdf, consistency_ratios, vote_entropy, WeeklyVote};
 pub use labels::{LabeledExample, LabeledSet};
 pub use pipeline::{ClassifierPipeline, FeatureMap, TrainedClassifier};
-pub use strategies::{evaluate_strategy, StrategyEvaluation, TrainingStrategy, WindowData, WindowScore};
+pub use strategies::{
+    evaluate_strategy, StrategyEvaluation, TrainingStrategy, WindowData, WindowScore,
+};

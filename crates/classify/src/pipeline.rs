@@ -12,10 +12,7 @@ pub type FeatureMap = BTreeMap<Ipv4Addr, FeatureVector>;
 
 /// Build a feature map from extracted sensor output.
 pub fn feature_map(features: &[OriginatorFeatures]) -> FeatureMap {
-    features
-        .iter()
-        .map(|f| (f.originator, f.features.clone()))
-        .collect()
+    features.iter().map(|f| (f.originator, f.features.clone())).collect()
 }
 
 /// Configuration of one classifier: algorithm plus the run count for
@@ -59,11 +56,14 @@ impl ClassifierPipeline {
         features: &FeatureMap,
         seed: u64,
     ) -> Option<TrainedClassifier> {
+        let _span = bs_telemetry::span("classify.train");
         let data = Self::to_dataset(labeled, features);
         if data.is_empty() || data.present_classes().len() < 2 {
+            bs_telemetry::counter_add("classify.untrainable_windows", 1);
             return None;
         }
         let ensemble = MajorityEnsemble::fit(&self.algorithm, &data, self.runs, seed);
+        bs_telemetry::counter_add("classify.models_trained", 1);
         Some(TrainedClassifier { ensemble })
     }
 }
@@ -83,18 +83,12 @@ impl TrainedClassifier {
     /// Classify with the ensemble's vote confidence in `[0, 1]`.
     pub fn classify_with_confidence(&self, fv: &FeatureVector) -> (ApplicationClass, f64) {
         let (idx, conf) = self.ensemble.predict_with_confidence(&fv.to_vec());
-        (
-            ApplicationClass::from_index(idx).expect("model trained on class schema"),
-            conf,
-        )
+        (ApplicationClass::from_index(idx).expect("model trained on class schema"), conf)
     }
 
     /// Classify every originator in a feature map.
     pub fn classify_all(&self, features: &FeatureMap) -> BTreeMap<Ipv4Addr, ApplicationClass> {
-        features
-            .iter()
-            .map(|(ip, fv)| (*ip, self.classify(fv)))
-            .collect()
+        features.iter().map(|(ip, fv)| (*ip, self.classify(fv))).collect()
     }
 }
 
@@ -132,10 +126,8 @@ mod tests {
     #[test]
     fn train_and_classify_round_trip() {
         let (labeled, features) = setup();
-        let pipe = ClassifierPipeline {
-            algorithm: Algorithm::Cart(CartParams::default()),
-            runs: 1,
-        };
+        let pipe =
+            ClassifierPipeline { algorithm: Algorithm::Cart(CartParams::default()), runs: 1 };
         let model = pipe.train(&labeled, &features, 1).expect("trainable");
         assert_eq!(model.classify(&fv(0.85, 0.05)), ApplicationClass::Spam);
         assert_eq!(model.classify(&fv(0.0, 0.9)), ApplicationClass::Scan);

@@ -280,12 +280,7 @@ mod tests {
             TrainingStrategy::ManualRecurring { every: 2, per_class_cap: 10 },
         ] {
             let eval = evaluate_strategy(strat, &windows, &cart(), 10, 1);
-            assert!(
-                eval.mean_f1() > 0.95,
-                "{} f1 {}",
-                strat.name(),
-                eval.mean_f1()
-            );
+            assert!(eval.mean_f1() > 0.95, "{} f1 {}", strat.name(), eval.mean_f1());
             assert_eq!(eval.usable_windows(), 5);
         }
     }

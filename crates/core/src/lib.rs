@@ -25,6 +25,7 @@
 //! | [`classify`] | `bs-classify` | labels, training strategies, consistency |
 //! | [`datasets`] | `bs-datasets` | the seven paper datasets + oracles |
 //! | [`analysis`] | `bs-analysis` | footprints, trends, churn, teams |
+//! | [`telemetry`] | `bs-telemetry` | counters, spans, structured logging, exporters |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use bs_dns as dns;
 pub use bs_ml as ml;
 pub use bs_netsim as netsim;
 pub use bs_sensor as sensor;
+pub use bs_telemetry as telemetry;
 
 pub mod pipeline;
 

@@ -59,29 +59,54 @@ impl DatasetPipeline {
 
         // Expert curation, possibly merged over several dates.
         let mut labels = LabeledSet::default();
-        for &cw in &self.curation_windows {
-            let Some(window) = windows.get(cw) else { continue };
-            let feats = built.features_for_window(world, *window, &self.feature_config);
-            let truth = built.truth_for_window(*window);
-            labels.merge(&LabeledSet::curate(&truth, &feats, self.per_class_cap));
+        {
+            let _span = bs_telemetry::span("core.curate");
+            for &cw in &self.curation_windows {
+                let Some(window) = windows.get(cw) else { continue };
+                let feats = built.features_for_window(world, *window, &self.feature_config);
+                let truth = built.truth_for_window(*window);
+                labels.merge(&LabeledSet::curate(&truth, &feats, self.per_class_cap));
+            }
         }
+        bs_telemetry::info!(
+            "core.pipeline",
+            "curated label set";
+            examples = labels.len(),
+            windows = windows.len(),
+        );
 
         let mut out = Vec::with_capacity(windows.len());
         for (w, window) in windows.iter().enumerate() {
             let feats = built.features_for_window(world, *window, &self.feature_config);
             let fmap = feature_map(&feats);
-            let entries = match self.classifier.train(&labels, &fmap, self.seed ^ (w as u64) << 16)
-            {
-                Some(model) => feats
-                    .iter()
-                    .map(|f| ClassifiedOriginator {
-                        originator: f.originator,
-                        queriers: f.querier_count,
-                        class: model.classify(&f.features),
-                    })
-                    .collect(),
-                None => Vec::new(),
+            let model = {
+                let _span = bs_telemetry::span("core.retrain");
+                self.classifier.train(&labels, &fmap, self.seed ^ (w as u64) << 16)
             };
+            let entries = match model {
+                Some(model) => {
+                    let _span = bs_telemetry::span("core.classify");
+                    let entries: Vec<ClassifiedOriginator> = feats
+                        .iter()
+                        .map(|f| ClassifiedOriginator {
+                            originator: f.originator,
+                            queriers: f.querier_count,
+                            class: model.classify(&f.features),
+                        })
+                        .collect();
+                    bs_telemetry::counter_add("core.originators_classified", entries.len() as u64);
+                    entries
+                }
+                None => {
+                    bs_telemetry::warn!(
+                        "core.pipeline",
+                        "window untrainable, emitting no classifications";
+                        window = w,
+                    );
+                    Vec::new()
+                }
+            };
+            bs_telemetry::counter_add("core.windows", 1);
             out.push(WindowClassification { window: w, entries });
         }
         PipelineRun { windows: out, labels }
@@ -112,11 +137,8 @@ mod tests {
         // Classified classes are plausible: mostly ones with labels.
         let labeled_classes: std::collections::BTreeSet<_> =
             run.labels.examples.iter().map(|e| e.class).collect();
-        let hit = run.windows[0]
-            .entries
-            .iter()
-            .filter(|e| labeled_classes.contains(&e.class))
-            .count();
+        let hit =
+            run.windows[0].entries.iter().filter(|e| labeled_classes.contains(&e.class)).count();
         assert!(hit * 10 >= run.windows[0].entries.len() * 9);
     }
 }

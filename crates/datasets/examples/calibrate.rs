@@ -39,7 +39,10 @@ fn main() {
         if !qs.is_empty() {
             println!(
                 "  footprints: min {} p50 {} p90 {} max {}",
-                qs[0], qs[qs.len() / 2], qs[qs.len() * 9 / 10], qs[qs.len() - 1]
+                qs[0],
+                qs[qs.len() / 2],
+                qs[qs.len() * 9 / 10],
+                qs[qs.len() - 1]
             );
         }
         // Class mix of analyzable originators.
@@ -55,8 +58,11 @@ fn main() {
 
         // Curate and evaluate the three algorithms.
         let labeled = LabeledSet::curate(&truth, &feats, 140);
-        println!("  labeled: {} examples, per class {:?}", labeled.len(),
-            labeled.class_counts().iter().map(|(c, n)| (c.name(), *n)).collect::<Vec<_>>());
+        println!(
+            "  labeled: {} examples, per class {:?}",
+            labeled.len(),
+            labeled.class_counts().iter().map(|(c, n)| (c.name(), *n)).collect::<Vec<_>>()
+        );
         let fmap = bs_classify::pipeline::feature_map(&feats);
         let data = ClassifierPipeline::to_dataset(&labeled, &fmap);
         for alg in [
@@ -68,7 +74,11 @@ fn main() {
             let rep = repeated_holdout(&alg, &data, 0.6, 10, 42);
             println!(
                 "  {}: acc {:.2} prec {:.2} rec {:.2} f1 {:.2} ({:.1}s)",
-                alg.name(), rep.mean.accuracy, rep.mean.precision, rep.mean.recall, rep.mean.f1,
+                alg.name(),
+                rep.mean.accuracy,
+                rep.mean.precision,
+                rep.mean.recall,
+                rep.mean.f1,
                 t2.elapsed().as_secs_f64()
             );
         }

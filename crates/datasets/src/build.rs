@@ -43,6 +43,7 @@ pub fn assemble_with_log(world: &World, spec: DatasetSpec, log: QueryLog) -> Bui
 /// Simulate a dataset end to end. Long recipes run day by day with
 /// cache sweeps so memory stays proportional to the live cache state.
 pub fn build_dataset(world: &World, spec: DatasetSpec) -> BuiltDataset {
+    let _span = bs_telemetry::span("datasets.build");
     let scenario = Scenario::new(world, spec.scenario.clone());
     let mut sim_cfg = SimulatorConfig::observing([spec.authority]);
     if let Some(n) = spec.sampling {
@@ -62,6 +63,13 @@ pub fn build_dataset(world: &World, spec: DatasetSpec) -> BuiltDataset {
     let log = logs.remove(&spec.authority).expect("observed authority");
     let blacklist = Blacklist::build(&scenario, spec.scenario.seed ^ 0xB1);
     let darknet = Darknet::build(&scenario, spec.scenario.seed ^ 0xD4);
+    bs_telemetry::counter_add("datasets.built", 1);
+    bs_telemetry::debug!(
+        "datasets.build",
+        "dataset simulated";
+        records = log.len(),
+        contacts = stats.contacts,
+    );
     BuiltDataset { spec, log, scenario, blacklist, darknet, stats }
 }
 
@@ -95,10 +103,7 @@ impl BuiltDataset {
                 })
                 .or_insert(Some(class));
         }
-        truth
-            .into_iter()
-            .filter_map(|(ip, c)| c.map(|c| (ip, c)))
-            .collect()
+        truth.into_iter().filter_map(|(ip, c)| c.map(|c| (ip, c))).collect()
     }
 
     /// The dataset's windows (delegates to the spec).

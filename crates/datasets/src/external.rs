@@ -59,7 +59,8 @@ impl Blacklist {
                 ApplicationClass::Scan => {
                     // Scanners land on "other" lists about 40 % of the
                     // time; a handful also hit spam lists.
-                    let blo = if bernoulli(h, 0.40) { 1 + bounded(mix64(h ^ 3), 3) as u8 } else { 0 };
+                    let blo =
+                        if bernoulli(h, 0.40) { 1 + bounded(mix64(h ^ 3), 3) as u8 } else { 0 };
                     let bls = u8::from(bernoulli(mix64(h ^ 4), 0.05));
                     (bls, blo)
                 }
@@ -76,9 +77,7 @@ impl Blacklist {
                 // Listings appear a few days after activity starts.
                 let lag_days = 1 + bounded(mix64(h ^ 6), 5);
                 let listed_from = p.active_from + bs_dns::SimDuration::from_days(lag_days);
-                entries
-                    .entry(p.originator)
-                    .or_insert(BlacklistEntry { bls, blo, listed_from });
+                entries.entry(p.originator).or_insert(BlacklistEntry { bls, blo, listed_from });
             }
         }
         Blacklist { entries }
@@ -96,19 +95,13 @@ impl Blacklist {
 
     /// Is `ip` on any list at `time`?
     pub fn is_listed(&self, ip: Ipv4Addr, time: bs_dns::SimTime) -> bool {
-        self.entries
-            .get(&ip)
-            .map(|e| time >= e.listed_from)
-            .unwrap_or(false)
+        self.entries.get(&ip).map(|e| time >= e.listed_from).unwrap_or(false)
     }
 
     /// Addresses with at least one *spam* listing — the spam-portion
     /// oracle used for curation.
     pub fn spam_listed(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.bls > 0)
-            .map(|(ip, _)| *ip)
+        self.entries.iter().filter(|(_, e)| e.bls > 0).map(|(ip, _)| *ip)
     }
 
     /// Number of listed addresses.
@@ -178,10 +171,7 @@ impl Darknet {
     /// Sources the darknet confirms as scanners: more than `min` dark
     /// addresses touched (paper: 1024).
     pub fn confirmed_scanners(&self, min: u64) -> impl Iterator<Item = Ipv4Addr> + '_ {
-        self.expected
-            .iter()
-            .filter(move |(_, n)| **n >= min)
-            .map(|(ip, _)| *ip)
+        self.expected.iter().filter(move |(_, n)| **n >= min).map(|(ip, _)| *ip)
     }
 }
 
@@ -282,10 +272,7 @@ mod tests {
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let small = pairs.first().unwrap();
         let large = pairs.last().unwrap();
-        assert!(
-            large.1 >= small.1,
-            "larger scanner should touch ≥ dark addresses: {pairs:?}"
-        );
+        assert!(large.1 >= small.1, "larger scanner should touch ≥ dark addresses: {pairs:?}");
     }
 
     #[test]

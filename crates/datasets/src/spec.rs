@@ -96,10 +96,7 @@ pub struct DatasetSpec {
 }
 
 fn slots(pairs: &[(ApplicationClass, usize)], scale: f64) -> BTreeMap<ApplicationClass, usize> {
-    pairs
-        .iter()
-        .map(|(c, n)| (*c, ((*n as f64 * scale).round() as usize).max(1)))
-        .collect()
+    pairs.iter().map(|(c, n)| (*c, ((*n as f64 * scale).round() as usize).max(1))).collect()
 }
 
 use ApplicationClass::*;

@@ -155,7 +155,10 @@ impl Cache {
         }
         self.insert(
             (name.to_lowercase_string(), qtype),
-            Entry { expires: now + SimDuration::from_secs(ttl as u64), value: CachedValue::Positive(target) },
+            Entry {
+                expires: now + SimDuration::from_secs(ttl as u64),
+                value: CachedValue::Positive(target),
+            },
         );
     }
 
@@ -168,15 +171,16 @@ impl Cache {
         soa_minimum: u32,
         now: SimTime,
     ) {
-        let ttl = soa_minimum
-            .max(self.config.min_negative_ttl)
-            .min(self.config.max_negative_ttl);
+        let ttl = soa_minimum.max(self.config.min_negative_ttl).min(self.config.max_negative_ttl);
         if ttl == 0 {
             return;
         }
         self.insert(
             (name.to_lowercase_string(), qtype),
-            Entry { expires: now + SimDuration::from_secs(ttl as u64), value: CachedValue::Negative },
+            Entry {
+                expires: now + SimDuration::from_secs(ttl as u64),
+                value: CachedValue::Negative,
+            },
         );
     }
 
@@ -184,11 +188,8 @@ impl Cache {
         if self.entries.len() >= self.config.capacity && !self.entries.contains_key(&key) {
             // Evict the entry expiring soonest; O(n) but eviction is rare
             // at the capacities we configure.
-            if let Some(victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.expires)
-                .map(|(k, _)| k.clone())
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, e)| e.expires).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;

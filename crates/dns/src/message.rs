@@ -294,8 +294,7 @@ impl Message {
     pub fn is_reverse_query(&self) -> bool {
         !self.is_response
             && self.question().is_some_and(|q| {
-                q.qtype == QType::Ptr
-                    && crate::reverse::parse_reverse_v4(&q.qname).is_some()
+                q.qtype == QType::Ptr && crate::reverse::parse_reverse_v4(&q.qname).is_some()
             })
     }
 }
@@ -360,11 +359,7 @@ mod tests {
     #[test]
     fn response_copies_question_and_id() {
         let q = Message::query(77, reverse_name("9.8.7.6".parse().unwrap()), QType::Ptr);
-        let r = Message::response(
-            &q,
-            Rcode::NxDomain,
-            vec![],
-        );
+        let r = Message::response(&q, Rcode::NxDomain, vec![]);
         assert_eq!(r.id, 77);
         assert!(r.is_response);
         assert_eq!(r.questions, q.questions);

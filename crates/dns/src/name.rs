@@ -193,10 +193,7 @@ impl DomainName {
             return false;
         }
         let skip = self.labels.len() - suffix.labels.len();
-        self.labels[skip..]
-            .iter()
-            .zip(suffix.labels.iter())
-            .all(|(a, b)| a == b)
+        self.labels[skip..].iter().zip(suffix.labels.iter()).all(|(a, b)| a == b)
     }
 
     /// Prepend a label, producing a child name.
@@ -251,7 +248,8 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["mail.example.com", "a.b.c.d.e", "x", "ns1-cache.isp.net", "4.3.2.1.in-addr.arpa"] {
+        for s in ["mail.example.com", "a.b.c.d.e", "x", "ns1-cache.isp.net", "4.3.2.1.in-addr.arpa"]
+        {
             let n = DomainName::parse(s).unwrap();
             assert_eq!(n.to_string(), s);
         }

@@ -232,12 +232,12 @@ mod tests {
     fn parse_rejects_non_reverse_names() {
         for s in [
             "mail.example.com",
-            "4.3.2.1.in-addr.arpa.extra",    // too deep — parses as 7 labels
-            "3.2.1.in-addr.arpa",            // partial (zone apex, not a host)
-            "256.3.2.1.in-addr.arpa",        // octet out of range
-            "04.3.2.1.in-addr.arpa",         // leading zero
-            "x.3.2.1.in-addr.arpa",          // non-numeric
-            "4.3.2.1.ip6.arpa",              // wrong tree
+            "4.3.2.1.in-addr.arpa.extra", // too deep — parses as 7 labels
+            "3.2.1.in-addr.arpa",         // partial (zone apex, not a host)
+            "256.3.2.1.in-addr.arpa",     // octet out of range
+            "04.3.2.1.in-addr.arpa",      // leading zero
+            "x.3.2.1.in-addr.arpa",       // non-numeric
+            "4.3.2.1.ip6.arpa",           // wrong tree
         ] {
             let n = DomainName::parse(s).unwrap();
             assert_eq!(parse_reverse_v4(&n), None, "should reject {s}");
@@ -256,7 +256,13 @@ mod tests {
 
     #[test]
     fn reverse_v6_round_trips() {
-        for s in ["::", "::1", "2001:db8::1", "fe80::dead:beef", "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"] {
+        for s in [
+            "::",
+            "::1",
+            "2001:db8::1",
+            "fe80::dead:beef",
+            "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+        ] {
             let addr: Ipv6Addr = s.parse().unwrap();
             assert_eq!(parse_reverse_v6(&reverse_name_v6(addr)), Some(addr), "{s}");
         }
@@ -265,8 +271,8 @@ mod tests {
     #[test]
     fn parse_v6_rejects_malformed() {
         for s in [
-            "b.a.9.8.ip6.arpa",                      // too short
-            "4.3.2.1.in-addr.arpa",                  // wrong tree
+            "b.a.9.8.ip6.arpa",     // too short
+            "4.3.2.1.in-addr.arpa", // wrong tree
             "mail.example.com",
         ] {
             let n = DomainName::parse(s).unwrap();

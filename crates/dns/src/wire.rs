@@ -168,13 +168,20 @@ impl Message {
         for rr in &self.additional {
             e.put_record(rr);
         }
+        bs_telemetry::counter_add("dns.wire.encoded", 1);
         e.buf.to_vec()
     }
 
     /// Decode from wire format.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let mut d = Decoder { full: bytes, cur: bytes };
-        d.message()
+        let msg = d.message();
+        if msg.is_ok() {
+            bs_telemetry::counter_add("dns.wire.decoded", 1);
+        } else {
+            bs_telemetry::counter_add("dns.wire.decode_errors", 1);
+        }
+        msg
     }
 }
 
@@ -214,8 +221,8 @@ impl<'a> Decoder<'a> {
     fn name(&mut self) -> Result<DomainName, WireError> {
         let mut labels: Vec<Label> = Vec::new();
         let mut wire_len = 1usize; // terminating root byte
-        // Follow the label chain; once we take a pointer we read from
-        // `full` at decreasing offsets only, bounding the walk.
+                                   // Follow the label chain; once we take a pointer we read from
+                                   // `full` at decreasing offsets only, bounding the walk.
         let mut jumped = false;
         let mut limit_pos = self.pos(); // pointers must target strictly before here
         let mut view: &[u8] = self.cur;
@@ -448,9 +455,8 @@ mod tests {
     #[test]
     fn decode_rejects_pointer_loops() {
         // Header with one question, then a name that points at itself.
-        let mut bytes = vec![
-            0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-        ];
+        let mut bytes =
+            vec![0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00];
         bytes.extend_from_slice(&[0xC0, 0x0C]); // pointer to offset 12 = itself
         bytes.extend_from_slice(&[0x00, 0x0C, 0x00, 0x01]);
         assert_eq!(Message::decode(&bytes), Err(WireError::BadPointer));
@@ -458,9 +464,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_forward_pointers() {
-        let mut bytes = vec![
-            0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-        ];
+        let mut bytes =
+            vec![0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00];
         bytes.extend_from_slice(&[0xC0, 0x20]); // points past itself
         bytes.extend_from_slice(&[0x00, 0x0C, 0x00, 0x01]);
         bytes.resize(64, 0);
@@ -469,9 +474,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_reserved_label_types() {
-        let mut bytes = vec![
-            0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-        ];
+        let mut bytes =
+            vec![0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00];
         bytes.push(0x80); // reserved 0b10 prefix
         bytes.extend_from_slice(&[0x00, 0x0C, 0x00, 0x01]);
         assert!(matches!(Message::decode(&bytes), Err(WireError::BadLabelType(_))));

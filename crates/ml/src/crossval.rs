@@ -39,9 +39,7 @@ pub fn repeated_holdout(
     let runs_per_fit = if algorithm.is_randomized() { 10 } else { 1 };
     let mut all = Vec::with_capacity(repetitions);
     for rep in 0..repetitions {
-        let rep_seed = seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(rep as u64);
+        let rep_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(rep as u64);
         let (train, test) = data.stratified_split(train_frac, rep_seed);
         if train.is_empty() || test.is_empty() {
             continue;
@@ -52,11 +50,7 @@ pub fn repeated_holdout(
         let cm = ConfusionMatrix::from_predictions(data.n_classes(), &truth, &predicted);
         all.push(cm.metrics());
     }
-    HoldoutReport {
-        mean: Metrics::mean(&all),
-        std: Metrics::std(&all),
-        repetitions: all.len(),
-    }
+    HoldoutReport { mean: Metrics::mean(&all), std: Metrics::std(&all), repetitions: all.len() }
 }
 
 /// Stratified k-fold cross-validation: each class's samples are
@@ -74,9 +68,8 @@ pub fn k_fold(algorithm: &Algorithm, data: &Dataset, k: usize, seed: u64) -> Hol
     // fold assignment per sample index, stratified by class.
     let mut fold_of = vec![0usize; data.len()];
     for class in 0..data.n_classes() {
-        let mut idx: Vec<usize> = (0..data.len())
-            .filter(|&i| data.samples[i].label == class)
-            .collect();
+        let mut idx: Vec<usize> =
+            (0..data.len()).filter(|&i| data.samples[i].label == class).collect();
         idx.shuffle(&mut rng);
         for (j, i) in idx.into_iter().enumerate() {
             fold_of[i] = j % k;
@@ -118,10 +111,7 @@ mod tests {
 
     fn blobs(seed: u64, n: usize) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut d = Dataset::new(
-            vec!["x".into(), "y".into()],
-            vec!["a".into(), "b".into()],
-        );
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], vec!["a".into(), "b".into()]);
         for label in 0..2usize {
             for _ in 0..n {
                 d.push(Sample {

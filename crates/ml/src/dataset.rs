@@ -58,16 +58,9 @@ impl Dataset {
     /// not finite — catching these at insertion beats NaN surprises
     /// inside a split search.
     pub fn push(&mut self, sample: Sample) {
-        assert_eq!(
-            sample.features.len(),
-            self.n_features(),
-            "feature count mismatch"
-        );
+        assert_eq!(sample.features.len(), self.n_features(), "feature count mismatch");
         assert!(sample.label < self.n_classes(), "label out of range");
-        assert!(
-            sample.features.iter().all(|f| f.is_finite()),
-            "non-finite feature value"
-        );
+        assert!(sample.features.iter().all(|f| f.is_finite()), "non-finite feature value");
         self.samples.push(sample);
     }
 
@@ -82,12 +75,7 @@ impl Dataset {
 
     /// The classes that actually occur in the samples.
     pub fn present_classes(&self) -> Vec<usize> {
-        self.class_counts()
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| **c > 0)
-            .map(|(i, _)| i)
-            .collect()
+        self.class_counts().iter().enumerate().filter(|(_, c)| **c > 0).map(|(i, _)| i).collect()
     }
 
     /// Split into (train, test) with `train_frac` of each class in the

@@ -74,11 +74,8 @@ impl Forest {
             trees.push(tree);
         }
         let total: f64 = raw.iter().sum();
-        let importances = if total > 0.0 {
-            raw.iter().map(|v| v / total).collect()
-        } else {
-            raw
-        };
+        let importances = if total > 0.0 { raw.iter().map(|v| v / total).collect() } else { raw };
+        bs_telemetry::counter_add("ml.trees_built", params.n_trees as u64);
         Forest { trees, n_classes: data.n_classes(), importances }
     }
 
@@ -105,11 +102,8 @@ impl Forest {
     /// Feature importances paired with names, sorted descending — the
     /// shape of the paper's Table IV.
     pub fn ranked_importances(&self, feature_names: &[String]) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> = feature_names
-            .iter()
-            .cloned()
-            .zip(self.importances.iter().copied())
-            .collect();
+        let mut v: Vec<(String, f64)> =
+            feature_names.iter().cloned().zip(self.importances.iter().copied()).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
         v
     }
@@ -175,11 +169,7 @@ mod tests {
         let train = blobs(1, 60);
         let test = blobs(2, 30);
         let f = Forest::fit(&train, &ForestParams::default(), 7);
-        let correct = test
-            .samples
-            .iter()
-            .filter(|s| f.predict(&s.features) == s.label)
-            .count();
+        let correct = test.samples.iter().filter(|s| f.predict(&s.features) == s.label).count();
         let acc = correct as f64 / test.len() as f64;
         assert!(acc > 0.9, "accuracy {acc}");
     }
@@ -190,10 +180,7 @@ mod tests {
         let f = Forest::fit(&train, &ForestParams::default(), 11);
         let imp = f.importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9, "normalized");
-        assert!(
-            imp[0] + imp[1] > 0.75,
-            "signal features should dominate: {imp:?}"
-        );
+        assert!(imp[0] + imp[1] > 0.75, "signal features should dominate: {imp:?}");
         let ranked = f.ranked_importances(&train.feature_names);
         assert!(ranked[0].0 == "f0" || ranked[0].0 == "f1");
         assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
@@ -223,11 +210,7 @@ mod tests {
         let p = ForestParams { n_trees: 1, ..ForestParams::default() };
         let f = Forest::fit(&train, &p, 0);
         assert_eq!(f.n_trees(), 1);
-        let correct = train
-            .samples
-            .iter()
-            .filter(|s| f.predict(&s.features) == s.label)
-            .count();
+        let correct = train.samples.iter().filter(|s| f.predict(&s.features) == s.label).count();
         assert!(correct * 10 > train.len() * 7);
     }
 

@@ -92,7 +92,8 @@ impl ConfusionMatrix {
                 f1.push(f);
             }
         }
-        let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let avg =
+            |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
         Metrics {
             accuracy: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
             precision: avg(&prec),

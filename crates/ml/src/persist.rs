@@ -107,10 +107,8 @@ impl Forest {
         let imp_body = imp_line
             .strip_prefix("importances")
             .ok_or_else(|| err(ln, "expected `importances …`"))?;
-        let importances: Vec<f64> = imp_body
-            .split_whitespace()
-            .map(|s| f64_from_text(s, ln))
-            .collect::<Result<_, _>>()?;
+        let importances: Vec<f64> =
+            imp_body.split_whitespace().map(|s| f64_from_text(s, ln)).collect::<Result<_, _>>()?;
         if importances.len() != n_features {
             return Err(err(ln, "importances arity mismatch"));
         }
@@ -156,8 +154,9 @@ mod tests {
         );
         for _ in 0..90 {
             let label = rng.gen_range(0..3usize);
-            let features: Vec<f64> =
-                (0..5).map(|j| if j == label { 1.0 } else { 0.0 } + rng.gen_range(-0.3..0.3)).collect();
+            let features: Vec<f64> = (0..5)
+                .map(|j| if j == label { 1.0 } else { 0.0 } + rng.gen_range(-0.3..0.3))
+                .collect();
             d.push(Sample { features, label });
         }
         d

@@ -105,11 +105,7 @@ impl Svm {
             }
         }
         let scale = |f: &[f64]| -> Vec<f64> {
-            f.iter()
-                .zip(&means)
-                .zip(&stds)
-                .map(|((v, m), s)| (v - m) / s)
-                .collect()
+            f.iter().zip(&means).zip(&stds).map(|((v, m), s)| (v - m) / s).collect()
         };
         let x: Vec<Vec<f64>> = data.samples.iter().map(|s| scale(&s.features)).collect();
 
@@ -141,12 +137,8 @@ impl Svm {
         if self.machines.is_empty() {
             return self.default_class;
         }
-        let x: Vec<f64> = xraw
-            .iter()
-            .zip(&self.means)
-            .zip(&self.stds)
-            .map(|((v, m), s)| (v - m) / s)
-            .collect();
+        let x: Vec<f64> =
+            xraw.iter().zip(&self.means).zip(&self.stds).map(|((v, m), s)| (v - m) / s).collect();
         let mut votes = vec![0usize; self.n_classes];
         for m in &self.machines {
             if m.decision(&x) >= 0.0 {
@@ -155,12 +147,7 @@ impl Svm {
                 votes[m.class_b] += 1;
             }
         }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| **v)
-            .map(|(i, _)| i)
-            .expect("classes exist")
+        votes.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).expect("classes exist")
     }
 
     /// Number of pairwise machines trained.
@@ -276,22 +263,14 @@ mod tests {
     fn ring_dataset(seed: u64, n: usize) -> Dataset {
         // Inner disk vs outer ring: linearly inseparable, RBF-friendly.
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut d = Dataset::new(
-            vec!["x".into(), "y".into()],
-            vec!["inner".into(), "outer".into()],
-        );
+        let mut d =
+            Dataset::new(vec!["x".into(), "y".into()], vec!["inner".into(), "outer".into()]);
         for _ in 0..n {
             let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             let r_in: f64 = rng.gen_range(0.0..0.8);
-            d.push(Sample {
-                features: vec![r_in * theta.cos(), r_in * theta.sin()],
-                label: 0,
-            });
+            d.push(Sample { features: vec![r_in * theta.cos(), r_in * theta.sin()], label: 0 });
             let r_out: f64 = rng.gen_range(1.6..2.4);
-            d.push(Sample {
-                features: vec![r_out * theta.cos(), r_out * theta.sin()],
-                label: 1,
-            });
+            d.push(Sample { features: vec![r_out * theta.cos(), r_out * theta.sin()], label: 1 });
         }
         d
     }
@@ -301,11 +280,7 @@ mod tests {
         let train = ring_dataset(1, 60);
         let test = ring_dataset(2, 40);
         let m = Svm::fit(&train, &SvmParams::default(), 5);
-        let correct = test
-            .samples
-            .iter()
-            .filter(|s| m.predict(&s.features) == s.label)
-            .count();
+        let correct = test.samples.iter().filter(|s| m.predict(&s.features) == s.label).count();
         let acc = correct as f64 / test.len() as f64;
         assert!(acc > 0.93, "ring accuracy {acc}");
     }
@@ -333,11 +308,7 @@ mod tests {
             s.features[0] *= 1000.0;
         }
         let m = Svm::fit(&train, &SvmParams::default(), 5);
-        let correct = test
-            .samples
-            .iter()
-            .filter(|s| m.predict(&s.features) == s.label)
-            .count();
+        let correct = test.samples.iter().filter(|s| m.predict(&s.features) == s.label).count();
         let acc = correct as f64 / test.len() as f64;
         assert!(acc > 0.9, "scaled accuracy {acc}");
     }
@@ -365,10 +336,7 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_nan() {
-        let mut d = Dataset::new(
-            vec!["x".into(), "const".into()],
-            vec!["a".into(), "b".into()],
-        );
+        let mut d = Dataset::new(vec!["x".into(), "const".into()], vec!["a".into(), "b".into()]);
         for i in 0..20 {
             d.push(Sample { features: vec![i as f64, 7.0], label: (i >= 10) as usize });
         }

@@ -27,26 +27,14 @@ pub struct CartParams {
 
 impl Default for CartParams {
     fn default() -> Self {
-        CartParams {
-            max_depth: 12,
-            min_samples_split: 4,
-            min_samples_leaf: 1,
-            max_features: None,
-        }
+        CartParams { max_depth: 12, min_samples_split: 4, min_samples_leaf: 1, max_features: None }
     }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
-    Leaf {
-        class: usize,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { class: usize },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A trained CART classifier.
@@ -80,14 +68,7 @@ impl DecisionTree {
         assert!(data.n_classes() >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut importances = vec![0.0; data.n_features()];
-        let root = grow(
-            data,
-            indices.to_vec(),
-            params,
-            0,
-            &mut rng,
-            &mut importances,
-        );
+        let root = grow(data, indices.to_vec(), params, 0, &mut rng, &mut importances);
         DecisionTree {
             root,
             n_classes: data.n_classes(),
@@ -172,9 +153,8 @@ impl DecisionTree {
             if depth > 64 {
                 return Err(e(0, "tree deeper than 64: refusing".to_string()));
             }
-            let (ln, line) = lines
-                .next()
-                .ok_or_else(|| e(0, "unexpected end of input in tree".to_string()))?;
+            let (ln, line) =
+                lines.next().ok_or_else(|| e(0, "unexpected end of input in tree".to_string()))?;
             let mut f = line.split_whitespace();
             match f.next() {
                 Some("L") => {
@@ -233,12 +213,7 @@ fn gini(counts: &[usize], total: usize) -> f64 {
 }
 
 fn majority(counts: &[usize]) -> usize {
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, c)| **c)
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0)
 }
 
 fn grow(
@@ -254,9 +229,8 @@ fn grow(
         counts[data.samples[i].label] += 1;
     }
     let node_gini = gini(&counts, indices.len());
-    let stop = depth >= params.max_depth
-        || indices.len() < params.min_samples_split
-        || node_gini == 0.0;
+    let stop =
+        depth >= params.max_depth || indices.len() < params.min_samples_split || node_gini == 0.0;
     if stop {
         return Node::Leaf { class: majority(&counts) };
     }
@@ -309,9 +283,8 @@ fn grow(
         Some((feature, threshold, w)) if w <= node_gini + 1e-12 => {
             // Importance: impurity decrease weighted by node size.
             importances[feature] += (node_gini - w) * n;
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                .into_iter()
-                .partition(|&i| data.samples[i].features[feature] <= threshold);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                indices.into_iter().partition(|&i| data.samples[i].features[feature] <= threshold);
             let left = grow(data, left_idx, params, depth + 1, rng, importances);
             let right = grow(data, right_idx, params, depth + 1, rng, importances);
             Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }

@@ -18,12 +18,12 @@ impl MajorityEnsemble {
     /// Train `runs` models of `algorithm` on `data` with derived seeds.
     pub fn fit(algorithm: &Algorithm, data: &Dataset, runs: usize, seed: u64) -> Self {
         assert!(runs >= 1);
+        let _span = bs_telemetry::span("ml.train");
+        bs_telemetry::counter_add("ml.fits", runs as u64);
         let models = (0..runs)
             .map(|i| {
-                algorithm.fit(
-                    data,
-                    seed.wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
-                )
+                algorithm
+                    .fit(data, seed.wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F)))
             })
             .collect();
         MajorityEnsemble { models, n_classes: data.n_classes() }

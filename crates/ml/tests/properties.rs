@@ -10,10 +10,7 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
     // 2–4 classes, 2–5 features, 10–60 samples with finite values.
     (2usize..=4, 2usize..=5).prop_flat_map(|(n_classes, n_features)| {
         proptest::collection::vec(
-            (
-                proptest::collection::vec(-100.0f64..100.0, n_features),
-                0usize..n_classes,
-            ),
+            (proptest::collection::vec(-100.0f64..100.0, n_features), 0usize..n_classes),
             10..60,
         )
         .prop_map(move |rows| {

@@ -93,9 +93,7 @@ pub fn write_capture(log: &QueryLog) -> Vec<u8> {
             response.answers.push(ResourceRecord {
                 name: query.questions[0].qname.clone(),
                 ttl: 3600,
-                data: RecordData::Ptr(
-                    DomainName::parse("host.invalid").expect("static name"),
-                ),
+                data: RecordData::Ptr(DomainName::parse("host.invalid").expect("static name")),
             });
         }
         put_frame(&mut out, 0, r.querier, r.time, &query);
@@ -123,10 +121,10 @@ pub fn read_capture(bytes: &[u8]) -> Result<(QueryLog, CaptureStats), CaptureErr
         let peer = Ipv4Addr::from(u32::from_be_bytes(
             bytes[pos + 1..pos + 5].try_into().expect("4 bytes"),
         ));
-        let time = SimTime(u64::from_be_bytes(
-            bytes[pos + 5..pos + 13].try_into().expect("8 bytes"),
-        ));
-        let len = u16::from_be_bytes(bytes[pos + 13..pos + 15].try_into().expect("2 bytes")) as usize;
+        let time =
+            SimTime(u64::from_be_bytes(bytes[pos + 5..pos + 13].try_into().expect("8 bytes")));
+        let len =
+            u16::from_be_bytes(bytes[pos + 13..pos + 15].try_into().expect("2 bytes")) as usize;
         let body_start = pos + 15;
         if body_start + len > bytes.len() {
             return Err(CaptureError::TruncatedFrame { offset: pos });

@@ -104,6 +104,9 @@ pub struct SimStats {
     pub national_queries: u64,
     /// Queries that reached (or were sent toward) a final authority.
     pub final_queries: u64,
+    /// Records actually appended to an observed authority's log
+    /// (post-observation, post-sampling).
+    pub logged_records: u64,
 }
 
 /// The event-driven backscatter simulator.
@@ -119,16 +122,14 @@ pub struct Simulator<'w> {
     arrival_counters: BTreeMap<AuthorityId, u64>,
     ptr_overrides: HashMap<Ipv4Addr, PtrPolicy>,
     stats: SimStats,
+    /// Stats already flushed to the telemetry registry (delta tracking).
+    published: SimStats,
 }
 
 impl<'w> Simulator<'w> {
     /// Create a simulator over `world`.
     pub fn new(world: &'w World, config: SimulatorConfig) -> Self {
-        let logs = config
-            .observed
-            .iter()
-            .map(|a| (*a, QueryLog::new()))
-            .collect();
+        let logs = config.observed.iter().map(|a| (*a, QueryLog::new())).collect();
         Simulator {
             world,
             config,
@@ -137,6 +138,7 @@ impl<'w> Simulator<'w> {
             arrival_counters: BTreeMap::new(),
             ptr_overrides: HashMap::new(),
             stats: SimStats::default(),
+            published: SimStats::default(),
         }
     }
 
@@ -165,6 +167,35 @@ impl<'w> Simulator<'w> {
         for c in contacts {
             self.contact(c);
         }
+        self.publish_metrics();
+    }
+
+    /// Flush counter deltas accumulated since the last publication into
+    /// the global telemetry registry (`netsim.*`). Called automatically
+    /// at the end of every [`Simulator::process`] batch and on
+    /// [`Simulator::into_logs`]; near-free while telemetry is disabled.
+    pub fn publish_metrics(&mut self) {
+        if !bs_telemetry::is_enabled() {
+            return;
+        }
+        let s = self.stats;
+        let p = self.published;
+        bs_telemetry::counter_add("netsim.contacts", s.contacts - p.contacts);
+        bs_telemetry::counter_add("netsim.lookups", s.lookups - p.lookups);
+        bs_telemetry::counter_add("netsim.cache.hit", s.leaf_cache_hits - p.leaf_cache_hits);
+        bs_telemetry::counter_add(
+            "netsim.cache.miss",
+            (s.lookups - s.leaf_cache_hits) - (p.lookups - p.leaf_cache_hits),
+        );
+        bs_telemetry::counter_add("netsim.queries.root", s.root_queries - p.root_queries);
+        bs_telemetry::counter_add(
+            "netsim.queries.national",
+            s.national_queries - p.national_queries,
+        );
+        bs_telemetry::counter_add("netsim.queries.final", s.final_queries - p.final_queries);
+        bs_telemetry::counter_add("netsim.records.logged", s.logged_records - p.logged_records);
+        bs_telemetry::gauge_set("netsim.resolvers.live", self.resolvers.len() as i64);
+        self.published = s;
     }
 
     /// Drive one reverse lookup from `querier`'s resolver.
@@ -228,7 +259,13 @@ impl<'w> Simulator<'w> {
             if !minimizing {
                 self.record(AuthorityId::Root(root), now, querier, originator, Rcode::NoError);
                 if broken {
-                    self.record_stutter(AuthorityId::Root(root), now, querier, originator, Rcode::NoError);
+                    self.record_stutter(
+                        AuthorityId::Root(root),
+                        now,
+                        querier,
+                        originator,
+                        Rcode::NoError,
+                    );
                 }
             }
         }
@@ -389,6 +426,7 @@ impl<'w> Simulator<'w> {
                 return;
             }
         }
+        self.stats.logged_records += 1;
         self.logs
             .get_mut(&authority)
             .expect("observed authorities have logs")
@@ -401,7 +439,8 @@ impl<'w> Simulator<'w> {
     }
 
     /// Consume the simulator, returning the logs.
-    pub fn into_logs(self) -> AuthorityLogs {
+    pub fn into_logs(mut self) -> AuthorityLogs {
+        self.publish_metrics();
         self.logs
     }
 
@@ -443,7 +482,8 @@ mod tests {
     fn find_direct_mail_target(w: &World, orig: Ipv4Addr) -> Contact {
         for i in 0..3_000_000u64 {
             let t = w.random_public_addr(crate::det::hash1(0xF1, i));
-            let c = Contact { time: SimTime(0), originator: orig, target: t, kind: ContactKind::Smtp };
+            let c =
+                Contact { time: SimTime(0), originator: orig, target: t, kind: ContactKind::Smtp };
             let rs = w.reactions(&c);
             if rs.len() == 1 && rs[0].direct && rs[0].querier.0 == t {
                 return c;
@@ -515,7 +555,12 @@ mod tests {
                 break;
             }
             let t = w.random_public_addr(crate::det::hash1(0xF3, i));
-            let c = Contact { time: SimTime(sent), originator: orig, target: t, kind: ContactKind::Smtp };
+            let c = Contact {
+                time: SimTime(sent),
+                originator: orig,
+                target: t,
+                kind: ContactKind::Smtp,
+            };
             if !w.reactions(&c).is_empty() {
                 sent += 1;
             }
@@ -541,10 +586,7 @@ mod tests {
             }
         }
         let orig = orig.expect("undelegated space exists");
-        let both_roots = [
-            AuthorityId::Root(RootServer::B),
-            AuthorityId::Root(RootServer::M),
-        ];
+        let both_roots = [AuthorityId::Root(RootServer::B), AuthorityId::Root(RootServer::M)];
         let mut sim = Simulator::new(&w, SimulatorConfig::observing(both_roots));
         let c = find_direct_mail_target(&w, orig);
         sim.contact(c);
@@ -579,11 +621,8 @@ mod tests {
         let w = world();
         let orig = delegated_named_originator(&w);
         let final_auth = AuthorityId::final_for(orig);
-        let observed = [
-            final_auth,
-            AuthorityId::Root(RootServer::B),
-            AuthorityId::Root(RootServer::M),
-        ];
+        let observed =
+            [final_auth, AuthorityId::Root(RootServer::B), AuthorityId::Root(RootServer::M)];
         let mut sim = Simulator::new(&w, SimulatorConfig::observing(observed));
         sim.override_ptr_policy(orig, PtrPolicy::Exists { ttl: 0 });
         // A large scan: many targets, one contact each.
@@ -666,11 +705,8 @@ mod tests {
         let w = world();
         let orig = delegated_named_originator(&w);
         let final_auth = AuthorityId::final_for(orig);
-        let observed = [
-            final_auth,
-            AuthorityId::Root(RootServer::B),
-            AuthorityId::Root(RootServer::M),
-        ];
+        let observed =
+            [final_auth, AuthorityId::Root(RootServer::B), AuthorityId::Root(RootServer::M)];
         let run = |qmin: f64| {
             let cfg = SimulatorConfig::observing(observed).with_qname_minimization(qmin);
             let mut sim = Simulator::new(&w, cfg);

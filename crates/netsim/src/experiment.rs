@@ -47,11 +47,7 @@ pub struct ScanObservation {
 /// Run one controlled scan and report what each authority saw.
 pub fn run_controlled_scan(world: &World, scan: &ControlledScan) -> ScanObservation {
     let final_auth = AuthorityId::final_for(scan.prober);
-    let observed = [
-        final_auth,
-        AuthorityId::Root(RootServer::B),
-        AuthorityId::Root(RootServer::M),
-    ];
+    let observed = [final_auth, AuthorityId::Root(RootServer::B), AuthorityId::Root(RootServer::M)];
     let mut sim = Simulator::new(world, SimulatorConfig::observing(observed));
     // The experiment's defining trick: TTL 0 on the prober's PTR record.
     sim.override_ptr_policy(scan.prober, PtrPolicy::Exists { ttl: 0 });
@@ -66,12 +62,7 @@ pub fn run_controlled_scan(world: &World, scan: &ControlledScan) -> ScanObservat
 
     let logs = sim.into_logs();
     let uniq = |auth: AuthorityId| -> usize {
-        logs[&auth]
-            .records()
-            .iter()
-            .map(|r| r.querier)
-            .collect::<HashSet<_>>()
-            .len()
+        logs[&auth].records().iter().map(|r| r.querier).collect::<HashSet<_>>().len()
     };
     let mut queriers_at_root = BTreeMap::new();
     queriers_at_root.insert(RootServer::B, uniq(AuthorityId::Root(RootServer::B)));
@@ -123,10 +114,7 @@ mod tests {
         // Any delegated address works; the override supplies the PTR.
         for i in 0..10_000u64 {
             let a = w.random_public_addr(crate::det::hash1(0xAB, i));
-            if matches!(
-                w.delegation(a),
-                crate::hierarchy::Delegation::Delegated { .. }
-            ) {
+            if matches!(w.delegation(a), crate::hierarchy::Delegation::Delegated { .. }) {
                 return a;
             }
         }

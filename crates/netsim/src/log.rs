@@ -131,6 +131,7 @@ impl QueryLog {
             }
             log.push(QueryLogRecord { time: SimTime(time), querier, originator, rcode });
         }
+        bs_telemetry::counter_add("netsim.log.parsed_records", log.len() as u64);
         Ok(log)
     }
 }

@@ -22,8 +22,18 @@ const HOME_KEYWORDS: &[&str] = &[
 
 /// Keywords for mail infrastructure (paper's `mail` list).
 const MAIL_KEYWORDS: &[&str] = &[
-    "mail", "mx", "smtp", "post", "correo", "poczta", "sendmail", "lists", "newsletter", "zimbra",
-    "mta", "imap",
+    "mail",
+    "mx",
+    "smtp",
+    "post",
+    "correo",
+    "poczta",
+    "sendmail",
+    "lists",
+    "newsletter",
+    "zimbra",
+    "mta",
+    "imap",
 ];
 
 /// Keywords for name servers (paper's `ns` list).
@@ -37,13 +47,8 @@ const ANTISPAM_KEYWORDS: &[&str] = &["ironport", "spam"];
 
 /// Suffixes used by simulated CDN operators (the paper matches Akamai,
 /// Edgecast, CDNetworks, LLNW; ours are fictional lookalikes).
-pub const CDN_SUFFIXES: &[&str] = &[
-    "akamai.sim",
-    "edgecast.sim",
-    "cdnetworks.sim",
-    "llnw.sim",
-    "chinacache.sim",
-];
+pub const CDN_SUFFIXES: &[&str] =
+    &["akamai.sim", "edgecast.sim", "cdnetworks.sim", "llnw.sim", "chinacache.sim"];
 
 /// Suffix used by the simulated AWS.
 pub const AWS_SUFFIX: &str = "amazonaws.sim";
@@ -107,12 +112,7 @@ fn pick<'a>(h: u64, table: &'a [&'a str]) -> &'a str {
 /// favours left-most labels exactly as the paper's does.
 pub fn host_name(seed: u64, addr: Ipv4Addr, role: HostRole, org: &DomainName) -> DomainName {
     let o = addr.octets();
-    let h = hash3(
-        seed ^ 0x4057_B3D0_31C5_0002,
-        u32::from(addr) as u64,
-        role_tag(role),
-        7,
-    );
+    let h = hash3(seed ^ 0x4057_B3D0_31C5_0002, u32::from(addr) as u64, role_tag(role), 7);
     let leftmost: String = match role {
         HostRole::Home => {
             let kw = pick(h, HOME_KEYWORDS);
@@ -203,8 +203,10 @@ mod tests {
         let addr: Ipv4Addr = "203.5.7.9".parse().unwrap();
         let n = host_name(1, addr, HostRole::Home, &org);
         let left = n.leftmost().unwrap().to_lowercase();
-        assert!(left.contains("203") && left.contains('5') && left.contains('7') && left.contains('9'),
-            "home name should embed octets: {n}");
+        assert!(
+            left.contains("203") && left.contains('5') && left.contains('7') && left.contains('9'),
+            "home name should embed octets: {n}"
+        );
         assert!(n.is_subdomain_of(&org));
     }
 
@@ -237,7 +239,8 @@ mod tests {
             let addr = Ipv4Addr::new(198, 51, i, 1);
             let n = host_name(3, addr, HostRole::Generic, &org);
             let left = n.leftmost().unwrap().to_lowercase();
-            for table in [HOME_KEYWORDS, MAIL_KEYWORDS, NS_KEYWORDS, FW_KEYWORDS, ANTISPAM_KEYWORDS] {
+            for table in [HOME_KEYWORDS, MAIL_KEYWORDS, NS_KEYWORDS, FW_KEYWORDS, ANTISPAM_KEYWORDS]
+            {
                 for kw in table {
                     assert!(
                         !left.starts_with(kw),
@@ -253,10 +256,7 @@ mod tests {
         for i in 0..20u8 {
             let addr = Ipv4Addr::new(23, i, 0, 1);
             let cdn = provider_domain(4, addr, HostRole::CdnNode);
-            assert!(
-                CDN_SUFFIXES.iter().any(|s| cdn.to_string().ends_with(s)),
-                "cdn domain {cdn}"
-            );
+            assert!(CDN_SUFFIXES.iter().any(|s| cdn.to_string().ends_with(s)), "cdn domain {cdn}");
             let cloud = provider_domain(4, addr, HostRole::CloudNode);
             let cs = cloud.to_string();
             assert!(

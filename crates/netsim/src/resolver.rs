@@ -266,18 +266,20 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn resolver(shared: bool, ip: u8) -> ResolverState {
-        ResolverState::new(1, ResolverId(Ipv4Addr::new(198, 51, 100, ip)), shared, CacheConfig::default())
+        ResolverState::new(
+            1,
+            ResolverId(Ipv4Addr::new(198, 51, 100, ip)),
+            shared,
+            CacheConfig::default(),
+        )
     }
 
     #[test]
     fn shared_resolvers_are_busier() {
         // Compare medians over many resolver identities.
-        let shared: Vec<f64> = (0..200u8)
-            .map(|i| resolver(true, i).background_rate())
-            .collect();
-        let dedicated: Vec<f64> = (0..200u8)
-            .map(|i| resolver(false, i).background_rate())
-            .collect();
+        let shared: Vec<f64> = (0..200u8).map(|i| resolver(true, i).background_rate()).collect();
+        let dedicated: Vec<f64> =
+            (0..200u8).map(|i| resolver(false, i).background_rate()).collect();
         let med = |mut v: Vec<f64>| {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v[v.len() / 2]
@@ -301,7 +303,13 @@ mod tests {
         // Within TTL it is always warm.
         for dt in [1u64, 10, 500, 999] {
             assert_eq!(
-                r.check_referral(ReferralLevel::Root, 7, install_time + SimDuration(dt), 1000, 0.01),
+                r.check_referral(
+                    ReferralLevel::Root,
+                    7,
+                    install_time + SimDuration(dt),
+                    1000,
+                    0.01
+                ),
                 ReferralCheck::Warm
             );
         }

@@ -255,11 +255,7 @@ impl World {
 
     /// All countries operating national reverse registries.
     pub fn national_registries(&self) -> impl Iterator<Item = CountryCode> + '_ {
-        self.config
-            .countries
-            .iter()
-            .filter(|c| c.national_authority)
-            .map(|c| c.code)
+        self.config.countries.iter().filter(|c| c.national_authority).map(|c| c.code)
     }
 
     /// The /8s belonging to `code`, for dataset generators that place
@@ -280,7 +276,8 @@ impl World {
     pub fn as_of(&self, addr: Ipv4Addr) -> Option<AsId> {
         let ci = self.slash8_country[addr.octets()[0] as usize]? as usize;
         let slash16 = (u32::from(addr) >> 16) as u64;
-        let idx = bounded(hash2(self.config.seed ^ 0xA5_0001, slash16, 11), self.as_counts[ci] as u64);
+        let idx =
+            bounded(hash2(self.config.seed ^ 0xA5_0001, slash16, 11), self.as_counts[ci] as u64);
         Some(AsId(ci as u32 * 10_000 + idx as u32))
     }
 
@@ -301,7 +298,9 @@ impl World {
         let h = hash2(self.config.seed ^ 0xA5_0003, slash24, as_id.0 as u64);
         use BlockProfile::*;
         let (profiles, weights): (&[BlockProfile], &[f64]) = match self.as_type(as_id) {
-            AsType::Isp => (&[Residential, IspInfra, Enterprise, Unused], &[0.62, 0.06, 0.12, 0.20]),
+            AsType::Isp => {
+                (&[Residential, IspInfra, Enterprise, Unused], &[0.62, 0.06, 0.12, 0.20])
+            }
             AsType::Hosting => (&[Hosting, IspInfra, Unused], &[0.70, 0.05, 0.25]),
             AsType::Enterprise => (&[Enterprise, Unused], &[0.55, 0.45]),
             AsType::Academic => (&[Academic, Enterprise, Unused], &[0.50, 0.15, 0.35]),
@@ -381,9 +380,8 @@ impl World {
     /// domain per AS (real access pools look like `*.bigisp.net`); other
     /// blocks get per-/24 org domains.
     pub fn org_domain(&self, addr: Ipv4Addr) -> DomainName {
-        let country = self
-            .country_of(addr)
-            .unwrap_or_else(|| CountryCode::new("us").expect("static code"));
+        let country =
+            self.country_of(addr).unwrap_or_else(|| CountryCode::new("us").expect("static code"));
         let profile = self.block_profile(addr);
         let key = match profile {
             BlockProfile::Residential | BlockProfile::IspInfra => {
@@ -596,11 +594,8 @@ impl World {
             let p = host_reaction_prob(role, c.kind);
             if p > 0.0 && bernoulli(key, p) {
                 let direct = bernoulli(mix64(key ^ 0x01), Self::direct_resolution_prob(role));
-                let querier = if direct {
-                    ResolverId(c.target)
-                } else {
-                    self.shared_resolver_for(c.target)
-                };
+                let querier =
+                    if direct { ResolverId(c.target) } else { self.shared_resolver_for(c.target) };
                 out.push(Reaction { querier, direct });
             }
         }
@@ -618,11 +613,8 @@ impl World {
                 let slash24 = (u32::from(c.target) >> 8) as u64;
                 let fw_addr = Ipv4Addr::from((slash24 << 8) as u32 | 1);
                 let direct = bernoulli(mix64(key ^ 0x04), 0.25);
-                let querier = if direct {
-                    ResolverId(fw_addr)
-                } else {
-                    self.shared_resolver_for(c.target)
-                };
+                let querier =
+                    if direct { ResolverId(fw_addr) } else { self.shared_resolver_for(c.target) };
                 out.push(Reaction { querier, direct });
             }
         }
@@ -637,10 +629,8 @@ impl World {
         let Some(country) = self.country_of(addr) else {
             return Delegation::Undelegated { at_national: false };
         };
-        let via_national = self
-            .country_spec(country)
-            .map(|c| c.national_authority)
-            .unwrap_or(false);
+        let via_national =
+            self.country_spec(country).map(|c| c.national_authority).unwrap_or(false);
         let slash24 = (u32::from(addr) >> 8) as u64;
         let p_undelegated = match self.as_of(addr).map(|a| self.as_type(a)) {
             Some(AsType::Hosting) => self.config.undelegated_hosting,
@@ -695,10 +685,7 @@ impl World {
 
 /// Which contact kinds count as probes for middlebox logging.
 fn is_probe(kind: ContactKind) -> bool {
-    matches!(
-        kind,
-        ContactKind::ProbeTcp(_) | ContactKind::ProbeUdp(_) | ContactKind::ProbeIcmp
-    )
+    matches!(kind, ContactKind::ProbeTcp(_) | ContactKind::ProbeUdp(_) | ContactKind::ProbeIcmp)
 }
 
 fn contact_tag(kind: ContactKind) -> u64 {
@@ -844,10 +831,7 @@ mod tests {
             .filter(|i| w.host_exists(w.random_public_addr(crate::det::hash1(42, *i))))
             .count();
         let frac = occupied as f64 / n as f64;
-        assert!(
-            (0.04..=0.12).contains(&frac),
-            "occupancy {frac} outside the target band"
-        );
+        assert!((0.04..=0.12).contains(&frac), "occupancy {frac} outside the target band");
     }
 
     #[test]
@@ -989,7 +973,12 @@ mod tests {
         let reacting = mail_hosts
             .iter()
             .filter(|t| {
-                let c = Contact { time: SimTime(0), originator: orig, target: **t, kind: ContactKind::Smtp };
+                let c = Contact {
+                    time: SimTime(0),
+                    originator: orig,
+                    target: **t,
+                    kind: ContactKind::Smtp,
+                };
                 !w.reactions(&c).is_empty()
             })
             .count();
@@ -1020,7 +1009,12 @@ mod tests {
             let addr = w.random_public_addr(crate::det::hash1(37, i));
             if w.block_profile(addr) == BlockProfile::Enterprise && !w.host_exists(addr) {
                 probed += 1;
-                let c = Contact { time: SimTime(0), originator: orig, target: addr, kind: ContactKind::ProbeTcp(22) };
+                let c = Contact {
+                    time: SimTime(0),
+                    originator: orig,
+                    target: addr,
+                    kind: ContactKind::ProbeTcp(22),
+                };
                 if !w.reactions(&c).is_empty() {
                     hits += 1;
                 }

@@ -191,12 +191,7 @@ mod tests {
 
     #[test]
     fn queries_per_querier_counts_repeats() {
-        let o = obs(&[
-            (0, "10.0.0.1"),
-            (100, "10.0.0.1"),
-            (200, "10.0.0.1"),
-            (0, "10.0.0.2"),
-        ]);
+        let o = obs(&[(0, "10.0.0.1"), (100, "10.0.0.1"), (200, "10.0.0.1"), (0, "10.0.0.2")]);
         let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(0), SimTime(3600), 10, 5);
         assert!((f.queries_per_querier - 2.0).abs() < 1e-12);
     }

@@ -90,9 +90,10 @@ pub fn extract_from_observations(
     info: &impl QuerierInfo,
     config: &FeatureConfig,
 ) -> Vec<OriginatorFeatures> {
+    let _span = bs_telemetry::span("sensor.extract");
     let total_ases = obs.total_ases(info);
     let total_countries = obs.total_countries(info);
-    select_analyzable(obs, config.min_queriers, config.top_n)
+    let out: Vec<OriginatorFeatures> = select_analyzable(obs, config.min_queriers, config.top_n)
         .into_iter()
         .map(|o| {
             let mut static_counts = [0usize; 14];
@@ -120,7 +121,9 @@ pub fn extract_from_observations(
                 features: FeatureVector { static_fractions, dynamic },
             }
         })
-        .collect()
+        .collect();
+    bs_telemetry::counter_add("sensor.features_extracted", out.len() as u64);
+    out
 }
 
 #[cfg(test)]

@@ -78,6 +78,8 @@ impl Observations {
         let mut all_queriers = BTreeSet::new();
         // Last accepted time per (originator, querier).
         let mut last_seen: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime> = BTreeMap::new();
+        let mut accepted: u64 = 0;
+        let mut suppressed: u64 = 0;
         for r in log.records() {
             if r.time < start || r.time >= end {
                 continue;
@@ -86,6 +88,7 @@ impl Observations {
             match last_seen.entry(key) {
                 Entry::Occupied(mut e) => {
                     if r.time.since(*e.get()) < dedup {
+                        suppressed += 1;
                         continue; // suppressed duplicate
                     }
                     e.insert(r.time);
@@ -94,13 +97,17 @@ impl Observations {
                     e.insert(r.time);
                 }
             }
+            accepted += 1;
             all_queriers.insert(r.querier);
-            let obs = per_originator.entry(r.originator).or_insert_with(|| {
-                OriginatorObservation { originator: r.originator, ..Default::default() }
+            let obs = per_originator.entry(r.originator).or_insert_with(|| OriginatorObservation {
+                originator: r.originator,
+                ..Default::default()
             });
             obs.queries.push((r.time, r.querier));
             obs.queriers.insert(r.querier);
         }
+        bs_telemetry::counter_add("sensor.records", accepted);
+        bs_telemetry::counter_add("sensor.dedup_suppressed", suppressed);
         Observations { window_start: start, window_end: end, per_originator, all_queriers }
     }
 
@@ -111,11 +118,7 @@ impl Observations {
 
     /// Unique ASes among all queriers in the window, given a resolver.
     pub fn total_ases(&self, info: &impl crate::QuerierInfo) -> usize {
-        self.all_queriers
-            .iter()
-            .filter_map(|q| info.querier_as(*q))
-            .collect::<BTreeSet<_>>()
-            .len()
+        self.all_queriers.iter().filter_map(|q| info.querier_as(*q)).collect::<BTreeSet<_>>().len()
     }
 
     /// Unique countries among all queriers in the window.
@@ -141,15 +144,10 @@ pub fn select_analyzable<'a>(
     min_queriers: usize,
     top_n: Option<usize>,
 ) -> Vec<&'a OriginatorObservation> {
-    let mut v: Vec<&OriginatorObservation> = obs
-        .per_originator
-        .values()
-        .filter(|o| o.querier_count() >= min_queriers)
-        .collect();
+    let mut v: Vec<&OriginatorObservation> =
+        obs.per_originator.values().filter(|o| o.querier_count() >= min_queriers).collect();
     v.sort_by(|a, b| {
-        b.querier_count()
-            .cmp(&a.querier_count())
-            .then_with(|| a.originator.cmp(&b.originator))
+        b.querier_count().cmp(&a.querier_count()).then_with(|| a.originator.cmp(&b.originator))
     });
     if let Some(n) = top_n {
         v.truncate(n);

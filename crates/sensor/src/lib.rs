@@ -38,10 +38,12 @@ pub mod static_features;
 pub mod stream;
 
 pub use dynamic::DynamicFeatures;
-pub use extract::{extract_features, extract_from_observations, FeatureConfig, FeatureVector, OriginatorFeatures};
+pub use extract::{
+    extract_features, extract_from_observations, FeatureConfig, FeatureVector, OriginatorFeatures,
+};
 pub use ingest::{select_analyzable, Observations, OriginatorObservation};
-pub use stream::{StreamConfig, StreamingSensor, WindowSummary};
 pub use static_features::{classify_querier_name, StaticFeature};
+pub use stream::{StreamConfig, StreamingSensor, WindowSummary};
 
 use bs_netsim::types::{AsId, CountryCode, NameOutcome};
 use std::net::Ipv4Addr;

@@ -101,8 +101,18 @@ const RULES: &[(StaticFeature, &[&str])] = &[
     (
         StaticFeature::Mail,
         &[
-            "mail", "mx", "smtp", "post", "correo", "poczta", "send", "lists", "newsletter",
-            "zimbra", "mta", "imap",
+            "mail",
+            "mx",
+            "smtp",
+            "post",
+            "correo",
+            "poczta",
+            "send",
+            "lists",
+            "newsletter",
+            "zimbra",
+            "mta",
+            "imap",
         ],
     ),
     (StaticFeature::Ns, &["cns", "dns", "ns", "cache", "resolv", "name"]),
@@ -121,7 +131,9 @@ const CDN_SUFFIXES: &[&str] = &["akamai", "edgecast", "cdnetworks", "llnw", "chi
 /// different word).
 fn component_matches(component: &str, keyword: &str) -> bool {
     if let Some(rest) = component.strip_prefix(keyword) {
-        rest.is_empty() || rest.starts_with('-') || rest.chars().next().is_some_and(|c| c.is_ascii_digit())
+        rest.is_empty()
+            || rest.starts_with('-')
+            || rest.chars().next().is_some_and(|c| c.is_ascii_digit())
     } else {
         false
     }
@@ -254,19 +266,10 @@ mod tests {
 
     #[test]
     fn outcome_variants() {
-        assert_eq!(
-            classify_querier_name(&NameOutcome::NxDomain),
-            StaticFeature::NxDomain
-        );
-        assert_eq!(
-            classify_querier_name(&NameOutcome::Unreachable),
-            StaticFeature::Unreach
-        );
+        assert_eq!(classify_querier_name(&NameOutcome::NxDomain), StaticFeature::NxDomain);
+        assert_eq!(classify_querier_name(&NameOutcome::Unreachable), StaticFeature::Unreach);
         let n = DomainName::parse("smtp.example.com").unwrap();
-        assert_eq!(
-            classify_querier_name(&NameOutcome::Name(n)),
-            StaticFeature::Mail
-        );
+        assert_eq!(classify_querier_name(&NameOutcome::Name(n)), StaticFeature::Mail);
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct StreamingSensor {
     all_queriers: std::collections::BTreeSet<Ipv4Addr>,
     evicted: usize,
     started: bool,
+    // Window-local telemetry tallies, flushed to the global registry at
+    // window boundaries so the per-record hot path stays atomics-free.
+    tally_records: u64,
+    tally_deduped: u64,
+    tally_admitted: u64,
 }
 
 impl StreamingSensor {
@@ -92,6 +97,9 @@ impl StreamingSensor {
             all_queriers: std::collections::BTreeSet::new(),
             evicted: 0,
             started: false,
+            tally_records: 0,
+            tally_deduped: 0,
+            tally_admitted: 0,
         }
     }
 
@@ -100,8 +108,7 @@ impl StreamingSensor {
     pub fn push(&mut self, r: QueryLogRecord) -> Option<WindowSummary> {
         if !self.started {
             // Anchor windows at the first record's window boundary.
-            self.window_start =
-                SimTime(r.time.secs() - r.time.secs() % self.config.window.secs());
+            self.window_start = SimTime(r.time.secs() - r.time.secs() % self.config.window.secs());
             self.started = true;
         }
         let mut emitted = None;
@@ -132,6 +139,7 @@ impl StreamingSensor {
     }
 
     fn take_window(&mut self, end: SimTime) -> WindowSummary {
+        let _span = bs_telemetry::span("sensor.window_flush");
         let observations = Observations {
             window_start: self.window_start,
             window_end: end,
@@ -141,15 +149,32 @@ impl StreamingSensor {
         self.probation.clear();
         self.last_seen.clear();
         let evicted = std::mem::take(&mut self.evicted);
+        bs_telemetry::counter_add("sensor.stream.records", std::mem::take(&mut self.tally_records));
+        bs_telemetry::counter_add(
+            "sensor.stream.dedup_suppressed",
+            std::mem::take(&mut self.tally_deduped),
+        );
+        bs_telemetry::counter_add(
+            "sensor.stream.admissions",
+            std::mem::take(&mut self.tally_admitted),
+        );
+        bs_telemetry::counter_add("sensor.stream.evictions", evicted as u64);
+        bs_telemetry::gauge_set("sensor.window_evicted", evicted as i64);
+        bs_telemetry::gauge_set(
+            "sensor.tracked_originators",
+            observations.per_originator.len() as i64,
+        );
         WindowSummary { window: (self.window_start, end), observations, evicted }
     }
 
     fn ingest(&mut self, r: QueryLogRecord) {
+        self.tally_records += 1;
         // Dedup identical querier/originator pairs inside the window.
         let key = (r.originator, r.querier);
         match self.last_seen.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 if r.time.since(*e.get()) < self.config.dedup {
+                    self.tally_deduped += 1;
                     return;
                 }
                 e.insert(r.time);
@@ -185,11 +210,10 @@ impl StreamingSensor {
                         self.evicted += 1;
                     }
                     self.probation.remove(&r.originator);
+                    self.tally_admitted += 1;
                 }
-                let mut o = OriginatorObservation {
-                    originator: r.originator,
-                    ..Default::default()
-                };
+                let mut o =
+                    OriginatorObservation { originator: r.originator, ..Default::default() };
                 o.queries.push((r.time, r.querier));
                 o.queriers.insert(r.querier);
                 self.per_originator.insert(r.originator, o);
@@ -215,9 +239,8 @@ mod tests {
     #[test]
     fn matches_batch_ingestion_when_unbounded() {
         // Stream vs batch over the same records must agree exactly.
-        let records: Vec<QueryLogRecord> = (0..500u32)
-            .map(|i| rec((i as u64 * 37) % 86_000, i % 40, i % 7))
-            .collect();
+        let records: Vec<QueryLogRecord> =
+            (0..500u32).map(|i| rec((i as u64 * 37) % 86_000, i % 40, i % 7)).collect();
         let mut sorted = records.clone();
         sorted.sort_by_key(|r| r.time);
 
@@ -246,10 +269,7 @@ mod tests {
         let w1 = sensor.push(rec(100, 3, 1)).expect("boundary crossed");
         assert_eq!(w1.window, (SimTime(0), SimTime(100)));
         assert_eq!(w1.observations.per_originator.len(), 1);
-        assert_eq!(
-            w1.observations.per_originator.values().next().unwrap().querier_count(),
-            2
-        );
+        assert_eq!(w1.observations.per_originator.values().next().unwrap().querier_count(), 2);
         // Jumping several windows ahead lands in the right window.
         let w2 = sensor.push(rec(555, 4, 2)).expect("second window emitted");
         assert_eq!(w2.window.0, SimTime(100));
@@ -279,11 +299,8 @@ mod tests {
         }
         let w = sensor.finish().expect("window");
         let heavy = Ipv4Addr::from(0xCB00_0000 | 999);
-        let obs = w
-            .observations
-            .per_originator
-            .get(&heavy)
-            .expect("heavy hitter survives the storm");
+        let obs =
+            w.observations.per_originator.get(&heavy).expect("heavy hitter survives the storm");
         assert_eq!(obs.querier_count(), 50);
         assert!(w.observations.per_originator.len() <= 10);
     }
@@ -309,6 +326,52 @@ mod tests {
         sensor.push(rec(200, 5, 3));
         sensor.push(rec(300, 6, 3));
         assert!(sensor.per_originator.contains_key(&Ipv4Addr::from(0xCB00_0000 | 3)));
+    }
+
+    #[test]
+    fn eviction_accounting_matches_summary_and_counter() {
+        // Regression: WindowSummary::evicted must count exactly the
+        // admission-filter evictions, and the global eviction counter
+        // must advance by at least as much (other tests share the
+        // process-wide registry, so the counter delta is a lower bound).
+        bs_telemetry::enable();
+        let counter_before = bs_telemetry::registry().counter("sensor.stream.evictions").get();
+
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 3,
+            admission_queries: 2,
+            ..Default::default()
+        };
+        let mut sensor = StreamingSensor::new(cfg);
+        // Fill the table with three originators.
+        for o in 1..=3u32 {
+            sensor.push(rec(o as u64, o, o));
+        }
+        assert_eq!(sensor.per_originator.len(), 3);
+        // Newcomer 10: first visit lands in probation, second evicts.
+        sensor.push(rec(100, 10, 10));
+        assert_eq!(sensor.evicted, 0, "probation must not evict");
+        sensor.push(rec(200, 11, 10));
+        assert_eq!(sensor.evicted, 1, "admission must evict exactly one");
+        // Newcomer 20 repeats the dance for a second eviction.
+        sensor.push(rec(300, 20, 20));
+        sensor.push(rec(400, 21, 20));
+        assert_eq!(sensor.evicted, 2);
+
+        let w = sensor.finish().expect("window");
+        assert_eq!(w.evicted, 2, "summary must report both evictions");
+        assert!(w.observations.per_originator.len() <= 3);
+
+        let counter_after = bs_telemetry::registry().counter("sensor.stream.evictions").get();
+        assert!(
+            counter_after - counter_before >= 2,
+            "eviction counter must advance by at least the window's evictions \
+             (before={counter_before}, after={counter_after})"
+        );
+        // The gauge publishes the most recent window flush; some other
+        // test may flush concurrently, so only check it is non-negative.
+        assert!(bs_telemetry::registry().gauge("sensor.window_evicted").get() >= 0);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Snapshot exporters: JSON and Prometheus text format.
+
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Escape a string for a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Turn a dotted metric name into a Prometheus-safe one: `bs_` prefix,
+/// every character outside `[a-zA-Z0-9_]` replaced by `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("bs_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Serialize as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   { "netsim.contacts": 123 },
+    ///   "gauges":     { "sensor.window_evicted": 0 },
+    ///   "histograms": { "core.retrain": { "count": 2, "sum": 900,
+    ///                     "max": 500, "p50": 447, "p90": 511, "p99": 511 } }
+    /// }
+    /// ```
+    ///
+    /// Histogram fields are in the recorded unit — nanoseconds for every
+    /// span-fed histogram.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", json_escape(k), v);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", json_escape(k), v);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{ \"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {} }}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99
+            );
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serialize in the Prometheus text exposition format. Histograms
+    /// export as summaries (`quantile` labels plus `_sum`/`_count`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = prom_name(k);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let n = prom_name(k);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let n = prom_name(k);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{n}{{quantile=\"0.9\"}} {}", h.p90);
+            let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("netsim.contacts".into(), 42);
+        s.counters.insert("sensor.records".into(), 7);
+        s.gauges.insert("sensor.window_evicted".into(), -1);
+        s.histograms.insert(
+            "core.retrain".into(),
+            HistogramSnapshot { count: 2, sum: 900, max: 500, p50: 447, p90: 511, p99: 511 },
+        );
+        s
+    }
+
+    #[test]
+    fn json_contains_every_metric_and_is_well_formed() {
+        let j = sample().to_json();
+        assert!(j.contains("\"netsim.contacts\": 42"));
+        assert!(j.contains("\"sensor.records\": 7"));
+        assert!(j.contains("\"sensor.window_evicted\": -1"));
+        assert!(j.contains("\"core.retrain\""));
+        assert!(j.contains("\"p99\": 511"));
+        // Structural sanity: balanced braces, quotes in pairs.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+        // No trailing commas before closing braces.
+        assert!(!j.contains(",\n  }") || !j.contains(", }"));
+        assert!(!j.contains(",}"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let j = Snapshot::default().to_json();
+        assert_eq!(j, "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+    }
+
+    #[test]
+    fn json_escapes_awkward_names() {
+        let mut s = Snapshot::default();
+        s.counters.insert("weird\"name\\with\nstuff".into(), 1);
+        let j = s.to_json();
+        assert!(j.contains("weird\\\"name\\\\with\\nstuff"));
+    }
+
+    #[test]
+    fn prometheus_format_lines() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE bs_netsim_contacts counter"));
+        assert!(p.contains("bs_netsim_contacts 42"));
+        assert!(p.contains("# TYPE bs_sensor_window_evicted gauge"));
+        assert!(p.contains("bs_sensor_window_evicted -1"));
+        assert!(p.contains("# TYPE bs_core_retrain summary"));
+        assert!(p.contains("bs_core_retrain{quantile=\"0.5\"} 447"));
+        assert!(p.contains("bs_core_retrain_sum 900"));
+        assert!(p.contains("bs_core_retrain_count 2"));
+    }
+
+    #[test]
+    fn global_snapshot_exports_via_free_functions() {
+        crate::enable();
+        crate::counter_add("export.test.counter", 5);
+        crate::observe("export.test.hist", 100);
+        let j = crate::snapshot_json();
+        assert!(j.contains("\"export.test.counter\": 5"));
+        let p = crate::snapshot_prometheus();
+        assert!(p.contains("bs_export_test_counter 5"));
+    }
+}

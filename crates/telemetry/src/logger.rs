@@ -1,0 +1,182 @@
+//! The leveled structured logger behind [`error!`](crate::error!),
+//! [`warn!`](crate::warn!), [`info!`](crate::info!), and
+//! [`debug!`](crate::debug!).
+//!
+//! The maximum level comes from the `BS_LOG` environment variable
+//! (`off`, `error`, `warn`, `info`, `debug`; default `info`), read once
+//! on first use; [`set_max_log_level`] overrides it programmatically.
+//! Lines go to stderr as `[LEVEL target] message key=value …`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severities, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The pipeline cannot proceed as asked.
+    Error = 1,
+    /// Something is degraded but the pipeline continues.
+    Warn = 2,
+    /// Operator-facing progress (the default).
+    Info = 3,
+    /// Per-stage detail for debugging.
+    Debug = 4,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn counter_name(self) -> &'static str {
+        match self {
+            Level::Error => "log.error",
+            Level::Warn => "log.warn",
+            Level::Info => "log.info",
+            Level::Debug => "log.debug",
+        }
+    }
+}
+
+const LEVEL_OFF: u8 = 0;
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn level_from_env() -> u8 {
+    let parsed = match std::env::var("BS_LOG") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => LEVEL_OFF,
+            "error" => Level::Error as u8,
+            "warn" | "warning" => Level::Warn as u8,
+            "info" => Level::Info as u8,
+            "debug" | "trace" => Level::Debug as u8,
+            _ => Level::Info as u8,
+        },
+        Err(_) => Level::Info as u8,
+    };
+    MAX_LEVEL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Override the maximum level (`None` silences the logger). Takes
+/// precedence over `BS_LOG` from the moment it is called.
+pub fn set_max_log_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map(|l| l as u8).unwrap_or(LEVEL_OFF), Ordering::Relaxed);
+}
+
+/// Whether events at `level` are currently emitted.
+pub fn log_enabled(level: Level) -> bool {
+    let mut max = MAX_LEVEL.load(Ordering::Relaxed);
+    if max == LEVEL_UNSET {
+        max = level_from_env();
+    }
+    level as u8 <= max
+}
+
+/// Emit one structured line. Callers go through the level macros, which
+/// check [`log_enabled`] first.
+pub fn log_emit(level: Level, target: &str, message: &str, kvs: &[(&str, String)]) {
+    let mut line = format!("[{} {}] {}", level.as_str(), target, message);
+    for (k, v) in kvs {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(v);
+    }
+    eprintln!("{line}");
+    crate::counter_add(level.counter_name(), 1);
+}
+
+/// Log at an explicit [`Level`]: `log_at!(level, target, fmt, args…;
+/// key = value, …)`. The level macros are the usual entry points.
+#[macro_export]
+macro_rules! log_at {
+    ($lvl:expr, $target:expr, $fmt:literal $(, $arg:expr)* $(; $($k:ident = $v:expr),+ $(,)?)?) => {{
+        let lvl = $lvl;
+        if $crate::log_enabled(lvl) {
+            $crate::log_emit(
+                lvl,
+                $target,
+                &::std::format!($fmt $(, $arg)*),
+                &[$($((::core::stringify!($k), ::std::format!("{}", $v))),+)?],
+            );
+        }
+    }};
+}
+
+/// Log an error: `error!("target", "fmt {}", arg; key = value)`.
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)+) => { $crate::log_at!($crate::Level::Error, $($t)+) };
+}
+
+/// Log a warning: `warn!("target", "fmt {}", arg; key = value)`.
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)+) => { $crate::log_at!($crate::Level::Warn, $($t)+) };
+}
+
+/// Log progress: `info!("target", "fmt {}", arg; key = value)`.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)+) => { $crate::log_at!($crate::Level::Info, $($t)+) };
+}
+
+/// Log debug detail: `debug!("target", "fmt {}", arg; key = value)`.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)+) => { $crate::log_at!($crate::Level::Debug, $($t)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_filters_and_macros_expand() {
+        set_max_log_level(Some(Level::Warn));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+
+        // Every macro arity compiles and respects the filter.
+        let n = 3;
+        crate::error!("test", "plain");
+        crate::warn!("test", "formatted {} and {n}", 7);
+        crate::info!("test", "suppressed");
+        crate::debug!("test", "suppressed {}", 1; k = 2);
+        crate::error!("test", "with kvs"; records = n, window = "w0");
+        crate::log_at!(Level::Warn, "test", "explicit level"; x = 1.5,);
+
+        set_max_log_level(Some(Level::Debug));
+        assert!(log_enabled(Level::Debug));
+        set_max_log_level(None);
+        assert!(!log_enabled(Level::Error));
+        // Restore the default for other tests in this process.
+        set_max_log_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn emitted_events_count_when_registry_enabled() {
+        crate::enable();
+        set_max_log_level(Some(Level::Info));
+        let before = crate::registry().counter("log.info").get();
+        crate::info!("test", "counted event");
+        let after = crate::registry().counter("log.info").get();
+        assert!(after > before);
+    }
+}

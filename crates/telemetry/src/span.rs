@@ -1,0 +1,65 @@
+//! Wall-clock span timers for pipeline stages.
+
+use std::time::Instant;
+
+/// A stage timer: created by [`crate::span`], records elapsed
+/// nanoseconds into the histogram named after the stage when dropped.
+///
+/// While the registry is disabled at creation the guard is inert — it
+/// never reads the clock — so wrapping a stage costs one atomic load.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub(crate) fn start(name: &'static str) -> Self {
+        let start = if crate::is_enabled() { Some(Instant::now()) } else { None };
+        Span { name, start }
+    }
+
+    /// The stage name this span records under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start.take() {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            crate::registry().histogram(self.name).record(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_named_histogram() {
+        crate::enable();
+        {
+            let g = crate::span("span.test.stage");
+            assert_eq!(g.name(), "span.test.stage");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = crate::registry().histogram("span.test.stage");
+        assert!(h.count() >= 1);
+        assert!(h.max() >= 1_000_000, "at least 1ms recorded, got {}ns", h.max());
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let s = Span { name: "span.test.inert", start: None };
+        drop(s);
+        crate::enable();
+        assert_eq!(crate::registry().histogram("span.test.inert").count(), 0);
+    }
+}

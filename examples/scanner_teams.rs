@@ -27,10 +27,7 @@ fn main() {
     pipeline.feature_config.min_queriers = 10;
     let run = pipeline.run(&world, &built);
     let windows: Vec<WindowClassification> = run.windows;
-    let n_scan: usize = windows[0]
-        .of_class(ApplicationClass::Scan)
-        .map(|_| 1usize)
-        .sum();
+    let n_scan: usize = windows[0].of_class(ApplicationClass::Scan).map(|_| 1usize).sum();
     println!("  classified {n_scan} scan originators from backscatter");
 
     // Team statistics over the classified output.

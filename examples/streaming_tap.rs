@@ -17,6 +17,10 @@ use dns_backscatter::sensor::ingest::select_analyzable;
 use dns_backscatter::sensor::{StreamConfig, StreamingSensor, WindowSummary};
 
 fn main() {
+    // Turn the telemetry registry on so the run ends with a snapshot of
+    // everything the pipeline counted and timed.
+    dns_backscatter::telemetry::enable();
+
     // Simulate 36 hours of JP-observable activity.
     let world = World::new(WorldConfig::default());
     let mut spec = DatasetSpec::paper(DatasetId::JpDitl, Scale::smoke(), 11);
@@ -57,4 +61,10 @@ fn main() {
     println!();
     println!("evictions only ever touch sub-threshold originators: everything the");
     println!("classifier would use survives a 500-entry table.");
+
+    // What the run looked like from the inside: counters from the
+    // simulator and the streaming sensor, plus window-flush latency.
+    println!();
+    println!("telemetry snapshot:");
+    print!("{}", dns_backscatter::telemetry::snapshot_json());
 }

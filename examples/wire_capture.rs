@@ -55,7 +55,13 @@ fn main() {
     println!("response encodes to {} bytes (with name compression)", answer_bytes.len());
 
     let mut cache = Cache::new(CacheConfig::default());
-    cache.insert_positive(&qname, QType::Ptr, DomainName::parse("spam.bad.jp").unwrap(), 3600, SimTime(0));
+    cache.insert_positive(
+        &qname,
+        QType::Ptr,
+        DomainName::parse("spam.bad.jp").unwrap(),
+        3600,
+        SimTime(0),
+    );
     match cache.lookup(&qname, QType::Ptr, SimTime(1800)) {
         CacheOutcome::Positive(name) => {
             println!("30 min later the resolver answers from cache: {name}");

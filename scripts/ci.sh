@@ -1,0 +1,20 @@
+#!/bin/bash
+# The repo's tier-1 gate, runnable locally and in CI:
+#   format check → lints as errors → release build → tests.
+# Any step failing fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release"
+cargo build --release
+
+echo "=== cargo test"
+cargo test -q
+
+echo "=== ci: all green"

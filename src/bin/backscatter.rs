@@ -33,6 +33,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // --metrics <path> works on every subcommand: enable the registry
+    // up front, snapshot to the path on success.
+    let metrics_path = flags.get("metrics").cloned();
+    if metrics_path.is_some() {
+        dns_backscatter::telemetry::enable();
+    }
     let result = match command.as_str() {
         "simulate" => cmd_simulate(&flags),
         "features" => cmd_features(&flags),
@@ -40,18 +46,69 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "report" => cmd_report(&flags),
         "capture" => cmd_capture(&flags),
+        "stats" => cmd_stats(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
     };
+    let result = result.and_then(|()| {
+        if let Some(path) = metrics_path {
+            let json = dns_backscatter::telemetry::snapshot_json();
+            std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+            dns_backscatter::telemetry::info!("cli", "wrote metrics snapshot"; path = path);
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `backscatter stats`: describe the telemetry surface, or dump a live
+/// snapshot of the current process (mostly useful with --format).
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    match flags.get("format").map(String::as_str) {
+        None | Some("help") => {
+            println!(
+                "telemetry — every subcommand accepts --metrics <path> to write a JSON
+snapshot of all counters, gauges, and latency histograms on success.
+
+metric naming: dotted crate.stage names, e.g.
+  netsim.contacts            contacts simulated
+  netsim.cache.hit/.miss     leaf PTR-cache behavior
+  netsim.queries.root/.national/.final   resolver fan-out
+  netsim.log.parsed_records  TSV records parsed from --log
+  sensor.records             deduplicated records accepted (batch path)
+  sensor.dedup_suppressed    records dropped by the 30 s dedup window
+  sensor.stream.*            streaming-sensor records/admissions/evictions
+  sensor.window_evicted      gauge: evictions in the last flushed window
+  ml.trees_built, ml.fits    learner effort
+  classify.models_trained    windows with a trainable label set
+  core.curate/.retrain/.classify   per-stage latency histograms (ns)
+  log.error/.warn/.info/.debug     logger event counts
+
+histograms report count, sum, max, p50, p90, p99 in nanoseconds.
+logging: set BS_LOG=off|error|warn|info|debug (default info)."
+            );
+            Ok(())
+        }
+        Some("json") => {
+            dns_backscatter::telemetry::enable();
+            print!("{}", dns_backscatter::telemetry::snapshot_json());
+            Ok(())
+        }
+        Some("prometheus") => {
+            dns_backscatter::telemetry::enable();
+            print!("{}", dns_backscatter::telemetry::snapshot_prometheus());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown --format {other:?} (help|json|prometheus)")),
     }
 }
 
@@ -74,6 +131,12 @@ commands:
             classify all windows and print a situation report
   capture   --log <log.tsv> --out <file.bscap>   convert TSV → packet capture
   capture   --capture <file.bscap> --out <log.tsv>   and back
+  stats     [--format help|json|prometheus]
+            describe the telemetry metrics, or dump a snapshot
+
+every command accepts --metrics <path> to write a JSON telemetry
+snapshot (counters, gauges, latency histograms) on success; set
+BS_LOG=off|error|warn|info|debug to control log verbosity.
 
 datasets: JP-ditl, B-post-ditl, B-long, B-multi-year, M-ditl, M-ditl-2015, M-sampled"
     );
@@ -128,16 +191,17 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let out = flags.get("out").ok_or("--out is required")?;
     let world = World::new(WorldConfig::default());
     let spec = DatasetSpec::paper(id, scale(flags)?, seed(flags)?);
-    eprintln!("simulating {}…", id.name());
+    dns_backscatter::telemetry::info!("cli", "simulating {}…", id.name());
     let built = build_dataset(&world, spec);
-    eprintln!(
+    dns_backscatter::telemetry::info!(
+        "cli",
         "{} contacts → {} reverse queries at {}",
         built.stats.contacts,
         built.log.len(),
         built.spec.authority
     );
     std::fs::write(out, built.log.to_tsv()).map_err(|e| format!("write {out}: {e}"))?;
-    eprintln!("wrote {out}");
+    dns_backscatter::telemetry::info!("cli", "wrote {out}");
     Ok(())
 }
 
@@ -163,25 +227,14 @@ fn cmd_features(flags: &Flags) -> Result<(), String> {
             .transpose()?
             .unwrap_or(u64::MAX),
     );
-    let feats = extract_features(
-        &log,
-        &world,
-        start,
-        end,
-        &FeatureConfig { min_queriers, top_n: None },
-    );
+    let feats =
+        extract_features(&log, &world, start, end, &FeatureConfig { min_queriers, top_n: None });
     // Header, then one row per originator.
     let names = dns_backscatter::sensor::FeatureVector::names();
     println!("originator\tqueriers\tqueries\t{}", names.join("\t"));
     for f in feats {
         let values: Vec<String> = f.features.to_vec().iter().map(|v| format!("{v:.5}")).collect();
-        println!(
-            "{}\t{}\t{}\t{}",
-            f.originator,
-            f.querier_count,
-            f.query_count,
-            values.join("\t")
-        );
+        println!("{}\t{}\t{}\t{}", f.originator, f.querier_count, f.query_count, values.join("\t"));
     }
     Ok(())
 }
@@ -193,11 +246,8 @@ fn curated_training_data(
     use dns_backscatter::classify::pipeline::feature_map;
     use dns_backscatter::classify::{ClassifierPipeline, LabeledSet};
     let window = built.windows()[0];
-    let feats = built.features_for_window(
-        world,
-        window,
-        &FeatureConfig { min_queriers: 10, top_n: None },
-    );
+    let feats =
+        built.features_for_window(world, window, &FeatureConfig { min_queriers: 10, top_n: None });
     let truth = built.truth_for_window(window);
     let labeled = LabeledSet::curate(&truth, &feats, 140);
     ClassifierPipeline::to_dataset(&labeled, &feature_map(&feats))
@@ -215,14 +265,15 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     if data.is_empty() || data.present_classes().len() < 2 {
         return Err("not enough curated examples to train".into());
     }
-    eprintln!(
-        "training a random forest on {} examples over {} classes…",
-        data.len(),
-        data.present_classes().len()
+    dns_backscatter::telemetry::info!(
+        "cli",
+        "training a random forest";
+        examples = data.len(),
+        classes = data.present_classes().len(),
     );
     let forest = Forest::fit(&data, &ForestParams::default(), seed(flags)?);
     std::fs::write(save, forest.to_text()).map_err(|e| format!("write {save}: {e}"))?;
-    eprintln!("saved {save} ({} trees)", forest.n_trees());
+    dns_backscatter::telemetry::info!("cli", "saved {save}"; trees = forest.n_trees());
     Ok(())
 }
 
@@ -269,7 +320,12 @@ fn cmd_classify(flags: &Flags) -> Result<(), String> {
     let mut pipeline = DatasetPipeline::default();
     pipeline.feature_config.min_queriers = 10;
     let run = pipeline.run(&world, &built);
-    eprintln!("labeled {} examples; {} windows", run.labels.len(), run.windows.len());
+    dns_backscatter::telemetry::info!(
+        "cli",
+        "classification complete";
+        labeled = run.labels.len(),
+        windows = run.windows.len(),
+    );
     println!("window\toriginator\tqueriers\tclass");
     for w in &run.windows {
         for e in &w.entries {
@@ -299,17 +355,24 @@ fn cmd_capture(flags: &Flags) -> Result<(), String> {
         (Some(_), None) => {
             let log = load_log(flags)?;
             std::fs::write(out, write_capture(&log)).map_err(|e| format!("write {out}: {e}"))?;
-            eprintln!("wrote packet capture {out} ({} records)", log.len());
+            dns_backscatter::telemetry::info!(
+                "cli",
+                "wrote packet capture {out}";
+                records = log.len(),
+            );
             Ok(())
         }
         (None, Some(path)) => {
             let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-            let (log, stats) =
-                read_capture(&bytes).map_err(|e| format!("parse {path}: {e}"))?;
+            let (log, stats) = read_capture(&bytes).map_err(|e| format!("parse {path}: {e}"))?;
             std::fs::write(out, log.to_tsv()).map_err(|e| format!("write {out}: {e}"))?;
-            eprintln!(
-                "decoded {} frames → {} records ({} undecodable, {} filtered)",
-                stats.frames, stats.records, stats.undecodable, stats.filtered
+            dns_backscatter::telemetry::info!(
+                "cli",
+                "decoded capture";
+                frames = stats.frames,
+                records = stats.records,
+                undecodable = stats.undecodable,
+                filtered = stats.filtered,
             );
             Ok(())
         }

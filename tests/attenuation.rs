@@ -88,11 +88,7 @@ fn roots_are_attenuated_severalfold() {
     // EXPERIMENTS.md documents root attenuation of ~6-30x at simulator
     // scale (broken resolvers hammer the roots; real-world attenuation
     // is ~1000x at real traffic volumes).
-    assert!(
-        roots * 5 <= o.queriers_at_final,
-        "roots {roots} vs final {}",
-        o.queriers_at_final
-    );
+    assert!(roots * 5 <= o.queriers_at_final, "roots {roots} vs final {}", o.queriers_at_final);
 }
 
 #[test]
@@ -103,7 +99,10 @@ fn ttl_zero_override_defeats_caching_repeats() {
     let prober = delegated_prober(&w);
     let authority = AuthorityId::final_for(prober);
     let mut sim = Simulator::new(&w, SimulatorConfig::observing([authority]));
-    sim.override_ptr_policy(prober, dns_backscatter::netsim::hierarchy::PtrPolicy::Exists { ttl: 0 });
+    sim.override_ptr_policy(
+        prober,
+        dns_backscatter::netsim::hierarchy::PtrPolicy::Exists { ttl: 0 },
+    );
     let mk = |t: u64, i: u64| dns_backscatter::netsim::types::Contact {
         time: SimTime(t),
         originator: prober,
@@ -121,8 +120,5 @@ fn ttl_zero_override_defeats_caching_repeats() {
     assert!(first > 500);
     // With caching the repeat would nearly vanish; with TTL 0 it is a
     // comparable batch of arrivals.
-    assert!(
-        second * 2 > first,
-        "repeat pass saw {second} vs first {first}"
-    );
+    assert!(second * 2 > first, "repeat pass saw {second} vs first {first}");
 }

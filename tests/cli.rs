@@ -149,11 +149,55 @@ fn report_contains_sections() {
 }
 
 #[test]
-fn missing_file_errors_without_panic() {
+fn classify_with_metrics_writes_snapshot() {
+    let log = simulated_log();
+    let metrics = tmp("cli-metrics.json");
     let out = bin()
-        .args(["features", "--log", "/definitely/not/a/file.tsv"])
+        .args([
+            "classify",
+            "--log",
+            log.to_str().unwrap(),
+            "--dataset",
+            "JP-ditl",
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
         .output()
-        .expect("run");
+        .expect("classify with metrics");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&metrics).expect("metrics file written");
+    // At least one counter from each instrumented layer…
+    assert!(json.contains("\"netsim.log.parsed_records\""), "netsim counter missing:\n{json}");
+    assert!(json.contains("\"sensor.records\""), "sensor counter missing:\n{json}");
+    assert!(json.contains("\"ml.trees_built\""), "ml counter missing:\n{json}");
+    // …and the per-stage latency histograms with quantiles.
+    for stage in ["core.curate", "core.retrain", "core.classify"] {
+        assert!(json.contains(&format!("\"{stage}\"")), "missing histogram {stage}:\n{json}");
+    }
+    assert!(json.contains("\"count\"") && json.contains("\"p50\"") && json.contains("\"p99\""));
+}
+
+#[test]
+fn stats_documents_the_metric_schema() {
+    let out = bin().arg("stats").output().expect("stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--metrics", "netsim.contacts", "sensor.records", "BS_LOG"] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+    let out = bin().args(["stats", "--format", "json"]).output().expect("stats json");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"counters\""));
+}
+
+#[test]
+fn missing_file_errors_without_panic() {
+    let out =
+        bin().args(["features", "--log", "/definitely/not/a/file.tsv"]).output().expect("run");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error:"), "{err}");

@@ -36,7 +36,11 @@ fn wire_decoder_survives_fuzz_like_corruption() {
     // never panic (errors are fine, and some corruptions still parse).
     let world = World::new(WorldConfig::default());
     let addr = world.random_public_addr(1);
-    let q = Message::query(7, dns_backscatter::dns::reverse::reverse_name(addr), dns_backscatter::dns::QType::Ptr);
+    let q = Message::query(
+        7,
+        dns_backscatter::dns::reverse::reverse_name(addr),
+        dns_backscatter::dns::QType::Ptr,
+    );
     let bytes = q.encode();
     for i in 0..bytes.len() {
         for flip in [0x01u8, 0x80, 0xFF] {
@@ -51,7 +55,8 @@ fn wire_decoder_survives_fuzz_like_corruption() {
 fn empty_window_produces_no_features_and_no_model() {
     let world = World::new(WorldConfig::default());
     let log = QueryLog::new();
-    let feats = extract_features(&log, &world, SimTime(0), SimTime(1000), &FeatureConfig::default());
+    let feats =
+        extract_features(&log, &world, SimTime(0), SimTime(1000), &FeatureConfig::default());
     assert!(feats.is_empty());
     let pipeline = ClassifierPipeline::random_forest();
     assert!(pipeline.train(&LabeledSet::default(), &feature_map(&feats), 1).is_none());
@@ -76,13 +81,12 @@ fn single_class_labels_cannot_train_but_do_not_panic() {
     let world = World::new(WorldConfig::default());
     let built = build_dataset(&world, DatasetSpec::paper(DatasetId::JpDitl, Scale::smoke(), 33));
     let window = built.windows()[0];
-    let feats = built.features_for_window(&world, window, &FeatureConfig { min_queriers: 5, top_n: None });
+    let feats =
+        built.features_for_window(&world, window, &FeatureConfig { min_queriers: 5, top_n: None });
     let truth = built.truth_for_window(window);
     // Keep only spam labels.
-    let spam_only: std::collections::BTreeMap<_, _> = truth
-        .into_iter()
-        .filter(|(_, c)| *c == ApplicationClass::Spam)
-        .collect();
+    let spam_only: std::collections::BTreeMap<_, _> =
+        truth.into_iter().filter(|(_, c)| *c == ApplicationClass::Spam).collect();
     let labeled = LabeledSet::curate(&spam_only, &feats, 140);
     assert!(!labeled.is_empty());
     let pipeline = ClassifierPipeline::random_forest();

@@ -42,21 +42,15 @@ fn run_jp_pipeline() -> (Vec<bs_sensor::OriginatorFeatures>, BTreeMap<Ipv4Addr, 
         SimTime::from_days(2),
         &FeatureConfig { min_queriers: 20, top_n: None },
     );
-    let truth: BTreeMap<Ipv4Addr, ApplicationClass> = scenario
-        .active_originators(SimTime::ZERO, SimTime::from_days(2))
-        .into_iter()
-        .collect();
+    let truth: BTreeMap<Ipv4Addr, ApplicationClass> =
+        scenario.active_originators(SimTime::ZERO, SimTime::from_days(2)).into_iter().collect();
     (features, truth)
 }
 
 #[test]
 fn classes_leave_distinct_static_fingerprints() {
     let (features, truth) = run_jp_pipeline();
-    assert!(
-        features.len() >= 15,
-        "too few analyzable originators: {}",
-        features.len()
-    );
+    assert!(features.len() >= 15, "too few analyzable originators: {}", features.len());
 
     // Mean static fraction per class.
     let mut sums: BTreeMap<ApplicationClass, ([f64; 14], usize)> = BTreeMap::new();
@@ -79,14 +73,8 @@ fn classes_leave_distinct_static_fingerprints() {
         mean(ApplicationClass::Spam, StaticFeature::Mail),
         mean(ApplicationClass::Scan, StaticFeature::Mail),
     ) {
-        assert!(
-            spam_mail > 0.35,
-            "spam should be mail-dominated, got {spam_mail}"
-        );
-        assert!(
-            spam_mail > scan_mail + 0.2,
-            "spam mail fraction {spam_mail} vs scan {scan_mail}"
-        );
+        assert!(spam_mail > 0.35, "spam should be mail-dominated, got {spam_mail}");
+        assert!(spam_mail > scan_mail + 0.2, "spam mail fraction {spam_mail} vs scan {scan_mail}");
     } else {
         panic!("spam or scan missing from analyzable set: {:?}", sums.keys().collect::<Vec<_>>());
     }
@@ -96,10 +84,7 @@ fn classes_leave_distinct_static_fingerprints() {
         mean(ApplicationClass::Cdn, StaticFeature::Home),
         mean(ApplicationClass::Scan, StaticFeature::Home),
     ) {
-        assert!(
-            cdn_home > scan_home,
-            "cdn home fraction {cdn_home} vs scan {scan_home}"
-        );
+        assert!(cdn_home > scan_home, "cdn home fraction {cdn_home} vs scan {scan_home}");
     }
 }
 

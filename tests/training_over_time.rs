@@ -66,10 +66,8 @@ fn malicious_examples_decay_faster_than_benign() {
 #[test]
 fn retrain_daily_is_at_least_as_good_as_train_once() {
     let (_, windows) = weekly_windows(8, 6);
-    let pipeline = ClassifierPipeline {
-        algorithm: Algorithm::Cart(CartParams::default()),
-        runs: 1,
-    };
+    let pipeline =
+        ClassifierPipeline { algorithm: Algorithm::Cart(CartParams::default()), runs: 1 };
     let once = evaluate_strategy(TrainingStrategy::TrainOnce, &windows, &pipeline, 60, 3);
     let daily = evaluate_strategy(TrainingStrategy::RetrainDaily, &windows, &pipeline, 60, 3);
     // Retraining with fresh features never loses usable windows and
@@ -86,10 +84,8 @@ fn retrain_daily_is_at_least_as_good_as_train_once() {
 #[test]
 fn curation_refresh_keeps_label_sets_from_starving() {
     let (_, windows) = weekly_windows(8, 7);
-    let pipeline = ClassifierPipeline {
-        algorithm: Algorithm::Cart(CartParams::default()),
-        runs: 1,
-    };
+    let pipeline =
+        ClassifierPipeline { algorithm: Algorithm::Cart(CartParams::default()), runs: 1 };
     let recurring = evaluate_strategy(
         TrainingStrategy::ManualRecurring { every: 2, per_class_cap: 60 },
         &windows,
