@@ -1,6 +1,8 @@
 //! Criterion benches for the sensing pipeline: ingestion, feature
-//! extraction, and the static-feature matcher.
+//! extraction, the static-feature matcher, and parallel forest
+//! training across thread counts.
 
+use backscatter_core::ml::{Dataset, Forest, Sample};
 use backscatter_core::prelude::*;
 use backscatter_core::sensor::ingest::Observations;
 use backscatter_core::sensor::static_features::classify_name;
@@ -93,5 +95,44 @@ fn telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ingestion, keyword_matcher, telemetry_overhead);
+/// Forest training at 1/2/4/8 threads over the same data and seed.
+/// The 1-thread case is the sequential baseline; determinism tests
+/// elsewhere guarantee all four produce bit-identical forests, so this
+/// measures scheduling overhead and scaling, nothing else.
+fn forest_par(c: &mut Criterion) {
+    // Deterministic two-blob training set, no RNG needed: class = x
+    // parity, plus a noise-ish second feature from a fixed recurrence.
+    let mut data = Dataset::new(
+        vec!["x".into(), "y".into(), "z".into(), "w".into()],
+        vec!["a".into(), "b".into()],
+    );
+    let mut h: u64 = 0x9E37_79B9;
+    for i in 0..400 {
+        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let label = i % 2;
+        data.push(Sample {
+            features: vec![
+                label as f64 * 2.0 + (h % 100) as f64 / 100.0,
+                ((h >> 8) % 100) as f64 / 50.0,
+                ((h >> 16) % 100) as f64 / 50.0,
+                ((h >> 24) % 100) as f64 / 50.0,
+            ],
+            label,
+        });
+    }
+    let params = ForestParams { n_trees: 64, ..Default::default() };
+    let mut g = c.benchmark_group("forest_par");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(params.n_trees as u64));
+    for t in [1usize, 2, 4, 8] {
+        g.bench_function(format!("fit_{t}_threads"), |b| {
+            backscatter_core::par::set_threads(t);
+            b.iter(|| Forest::fit(&data, &params, 7).n_trees())
+        });
+    }
+    backscatter_core::par::set_threads(0);
+    g.finish();
+}
+
+criterion_group!(benches, ingestion, keyword_matcher, telemetry_overhead, forest_par);
 criterion_main!(benches);

@@ -1,12 +1,19 @@
 //! Machine-readable pipeline performance snapshot.
 //!
-//! Runs the smoke-scale JP-ditl pipeline end to end twice — once with
-//! the telemetry registry disabled (the overhead baseline) and once
-//! enabled — then writes the enabled run's full telemetry snapshot to
+//! Runs the smoke-scale JP-ditl pipeline end to end three times — once
+//! with the telemetry registry disabled (the overhead baseline), once
+//! enabled, and once enabled but pinned to a single thread — then
+//! writes the parallel run's full telemetry snapshot to
 //! `BENCH_pipeline.json` at the workspace root. Future changes compare
 //! their stage latencies (`core.curate` / `core.retrain` /
-//! `core.classify`, nanosecond histograms) against this file, and the
-//! two wall-clock gauges bound the cost of telemetry itself.
+//! `core.classify`, nanosecond histograms) against this file; the
+//! wall-clock gauges bound the cost of telemetry itself
+//! (`wall_ms_disabled` vs `wall_ms_enabled`) and record the
+//! sequential-vs-parallel trajectory (`wall_ms_sequential` vs
+//! `wall_ms_parallel`, with `threads` saying how wide the parallel run
+//! was). The sequential and parallel runs must classify identically —
+//! the process asserts the determinism contract before writing
+//! anything.
 //!
 //! ```bash
 //! cargo run --release -p bench --bin perf_snapshot
@@ -16,13 +23,13 @@ use backscatter_core::prelude::*;
 use std::path::PathBuf;
 use std::time::Instant;
 
-fn run_pipeline(world: &World) -> usize {
+fn run_pipeline(world: &World) -> Vec<usize> {
     let spec = DatasetSpec::paper(DatasetId::JpDitl, Scale::smoke(), 7);
     let built = build_dataset(world, spec);
     let mut pipeline = DatasetPipeline::default();
     pipeline.feature_config.min_queriers = 10;
     let run = pipeline.run(world, &built);
-    run.windows.iter().map(|w| w.entries.len()).sum()
+    run.windows.iter().map(|w| w.entries.len()).collect()
 }
 
 fn main() {
@@ -34,16 +41,34 @@ fn main() {
     let classified_off = run_pipeline(&world);
     let off_ms = t0.elapsed().as_millis() as i64;
 
-    // Instrumented run: everything counted and timed.
+    // Sequential run: one thread, telemetry on.
     backscatter_core::telemetry::reset();
     backscatter_core::telemetry::enable();
+    backscatter_core::par::set_threads(1);
     let t0 = Instant::now();
-    let classified_on = run_pipeline(&world);
-    let on_ms = t0.elapsed().as_millis() as i64;
-    assert_eq!(classified_on, classified_off, "telemetry must not change results");
+    let classified_seq = run_pipeline(&world);
+    let seq_ms = t0.elapsed().as_millis() as i64;
+
+    // Parallel run: default width (BS_THREADS / all cores). This is
+    // the snapshot that gets written, so its telemetry is the record.
+    backscatter_core::telemetry::reset();
+    backscatter_core::par::set_threads(0);
+    let threads = backscatter_core::par::threads();
+    let t0 = Instant::now();
+    let classified_par = run_pipeline(&world);
+    let par_ms = t0.elapsed().as_millis() as i64;
+
+    assert_eq!(classified_par, classified_off, "telemetry must not change results");
+    assert_eq!(
+        classified_par, classified_seq,
+        "parallel output must be bit-identical to sequential"
+    );
 
     backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_disabled", off_ms);
-    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_enabled", on_ms);
+    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_enabled", par_ms);
+    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_sequential", seq_ms);
+    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_parallel", par_ms);
+    backscatter_core::telemetry::gauge_set("bench.pipeline.threads", threads as i64);
 
     let out: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
@@ -53,12 +78,14 @@ fn main() {
     let json = backscatter_core::telemetry::snapshot_json();
     std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
 
+    let classified: usize = classified_par.iter().sum();
     bs_telemetry::info!(
         "bench",
         "wrote {}", out.display();
-        classified = classified_on,
-        wall_ms_disabled = off_ms,
-        wall_ms_enabled = on_ms,
+        classified = classified,
+        wall_ms_sequential = seq_ms,
+        wall_ms_parallel = par_ms,
+        threads = threads,
     );
     print!("{json}");
 }

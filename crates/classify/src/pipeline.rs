@@ -87,8 +87,13 @@ impl TrainedClassifier {
     }
 
     /// Classify every originator in a feature map.
+    ///
+    /// Originators classify independently and in parallel; the result
+    /// map is identical at any thread count (it is keyed, and each
+    /// prediction depends only on its own feature vector).
     pub fn classify_all(&self, features: &FeatureMap) -> BTreeMap<Ipv4Addr, ApplicationClass> {
-        features.iter().map(|(ip, fv)| (*ip, self.classify(fv))).collect()
+        let entries: Vec<(&Ipv4Addr, &FeatureVector)> = features.iter().collect();
+        bs_par::par_map(&entries, |_, (ip, fv)| (**ip, self.classify(fv))).into_iter().collect()
     }
 }
 

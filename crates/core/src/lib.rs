@@ -26,6 +26,7 @@
 //! | [`datasets`] | `bs-datasets` | the seven paper datasets + oracles |
 //! | [`analysis`] | `bs-analysis` | footprints, trends, churn, teams |
 //! | [`telemetry`] | `bs-telemetry` | counters, spans, structured logging, exporters |
+//! | [`par`] | `bs-par` | deterministic work-stealing parallelism (`BS_THREADS`) |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use bs_datasets as datasets;
 pub use bs_dns as dns;
 pub use bs_ml as ml;
 pub use bs_netsim as netsim;
+pub use bs_par as par;
 pub use bs_sensor as sensor;
 pub use bs_telemetry as telemetry;
 

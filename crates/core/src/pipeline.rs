@@ -75,8 +75,13 @@ impl DatasetPipeline {
             windows = windows.len(),
         );
 
-        let mut out = Vec::with_capacity(windows.len());
-        for (w, window) in windows.iter().enumerate() {
+        // Windows are independent given the fixed label set: each
+        // re-extracts features, retrains on a window-derived seed, and
+        // classifies its own originators. They run in parallel on the
+        // bs-par pool; with a single window the parallelism moves down
+        // into training and extraction instead (nested regions run
+        // sequentially inside pool workers).
+        let out: Vec<WindowClassification> = bs_par::par_map(&windows, |w, window| {
             let feats = built.features_for_window(world, *window, &self.feature_config);
             let fmap = feature_map(&feats);
             let model = {
@@ -86,14 +91,12 @@ impl DatasetPipeline {
             let entries = match model {
                 Some(model) => {
                     let _span = bs_telemetry::span("core.classify");
-                    let entries: Vec<ClassifiedOriginator> = feats
-                        .iter()
-                        .map(|f| ClassifiedOriginator {
+                    let entries: Vec<ClassifiedOriginator> =
+                        bs_par::par_map(&feats, |_, f| ClassifiedOriginator {
                             originator: f.originator,
                             queriers: f.querier_count,
                             class: model.classify(&f.features),
-                        })
-                        .collect();
+                        });
                     bs_telemetry::counter_add("core.originators_classified", entries.len() as u64);
                     entries
                 }
@@ -107,8 +110,8 @@ impl DatasetPipeline {
                 }
             };
             bs_telemetry::counter_add("core.windows", 1);
-            out.push(WindowClassification { window: w, entries });
-        }
+            WindowClassification { window: w, entries }
+        });
         PipelineRun { windows: out, labels }
     }
 }

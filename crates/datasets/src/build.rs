@@ -35,9 +35,17 @@ pub struct BuiltDataset {
 /// itself is skipped.
 pub fn assemble_with_log(world: &World, spec: DatasetSpec, log: QueryLog) -> BuiltDataset {
     let scenario = Scenario::new(world, spec.scenario.clone());
-    let blacklist = Blacklist::build(&scenario, spec.scenario.seed ^ 0xB1);
-    let darknet = Darknet::build(&scenario, spec.scenario.seed ^ 0xD4);
+    let (blacklist, darknet) = build_oracles(&scenario, spec.scenario.seed);
     BuiltDataset { spec, log, scenario, blacklist, darknet, stats: SimStats::default() }
+}
+
+/// The two external oracles derive independently from the scenario
+/// (with disjoint seed tweaks), so they build concurrently.
+fn build_oracles(scenario: &Scenario, seed: u64) -> (Blacklist, Darknet) {
+    bs_par::join(
+        || Blacklist::build(scenario, seed ^ 0xB1),
+        || Darknet::build(scenario, seed ^ 0xD4),
+    )
 }
 
 /// Simulate a dataset end to end. Long recipes run day by day with
@@ -61,8 +69,7 @@ pub fn build_dataset(world: &World, spec: DatasetSpec) -> BuiltDataset {
     let stats = sim.stats();
     let mut logs = sim.into_logs();
     let log = logs.remove(&spec.authority).expect("observed authority");
-    let blacklist = Blacklist::build(&scenario, spec.scenario.seed ^ 0xB1);
-    let darknet = Darknet::build(&scenario, spec.scenario.seed ^ 0xD4);
+    let (blacklist, darknet) = build_oracles(&scenario, spec.scenario.seed);
     bs_telemetry::counter_add("datasets.built", 1);
     bs_telemetry::debug!(
         "datasets.build",

@@ -37,19 +37,22 @@ pub fn repeated_holdout(
     assert!(repetitions >= 1);
     assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
     let runs_per_fit = if algorithm.is_randomized() { 10 } else { 1 };
-    let mut all = Vec::with_capacity(repetitions);
-    for rep in 0..repetitions {
+    // Repetitions are independent given their rep-derived seeds, so
+    // they evaluate in parallel; results collect in repetition order,
+    // keeping the mean/std reductions bit-identical to sequential.
+    let per_rep: Vec<Option<Metrics>> = bs_par::par_map_range(repetitions, |rep| {
         let rep_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(rep as u64);
         let (train, test) = data.stratified_split(train_frac, rep_seed);
         if train.is_empty() || test.is_empty() {
-            continue;
+            return None;
         }
         let ensemble = MajorityEnsemble::fit(algorithm, &train, runs_per_fit, rep_seed);
         let (xs, truth) = test.xy();
         let predicted: Vec<usize> = xs.iter().map(|x| ensemble.predict(x)).collect();
         let cm = ConfusionMatrix::from_predictions(data.n_classes(), &truth, &predicted);
-        all.push(cm.metrics());
-    }
+        Some(cm.metrics())
+    });
+    let all: Vec<Metrics> = per_rep.into_iter().flatten().collect();
     HoldoutReport { mean: Metrics::mean(&all), std: Metrics::std(&all), repetitions: all.len() }
 }
 
@@ -77,8 +80,10 @@ pub fn k_fold(algorithm: &Algorithm, data: &Dataset, k: usize, seed: u64) -> Hol
     }
 
     let runs_per_fit = if algorithm.is_randomized() { 10 } else { 1 };
-    let mut all = Vec::with_capacity(k);
-    for fold in 0..k {
+    // The fold assignment above is sequential (one shared RNG); the
+    // folds themselves are independent and train in parallel, with
+    // results collected in fold order.
+    let per_fold: Vec<Option<Metrics>> = bs_par::par_map_range(k, |fold| {
         let mut train = Dataset::new(data.feature_names.clone(), data.class_names.clone());
         let mut test = Dataset::new(data.feature_names.clone(), data.class_names.clone());
         for (i, s) in data.samples.iter().enumerate() {
@@ -89,14 +94,15 @@ pub fn k_fold(algorithm: &Algorithm, data: &Dataset, k: usize, seed: u64) -> Hol
             }
         }
         if train.is_empty() || test.is_empty() || train.present_classes().len() < 2 {
-            continue;
+            return None;
         }
         let ensemble = MajorityEnsemble::fit(algorithm, &train, runs_per_fit, seed ^ fold as u64);
         let (xs, truth) = test.xy();
         let predicted: Vec<usize> = xs.iter().map(|x| ensemble.predict(x)).collect();
         let cm = ConfusionMatrix::from_predictions(data.n_classes(), &truth, &predicted);
-        all.push(cm.metrics());
-    }
+        Some(cm.metrics())
+    });
+    let all: Vec<Metrics> = per_fold.into_iter().flatten().collect();
     HoldoutReport { mean: Metrics::mean(&all), std: Metrics::std(&all), repetitions: all.len() }
 }
 

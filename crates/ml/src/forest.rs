@@ -48,10 +48,14 @@ pub struct Forest {
 
 impl Forest {
     /// Train on `data` with the given seed.
+    ///
+    /// Trees grow in parallel on the [`bs_par`] pool. Each tree's RNG
+    /// seeds from `(seed, tree index)` alone, so the forest is
+    /// bit-identical at every thread count, and importances accumulate
+    /// in tree order after training so the float sum is too.
     pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> Self {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(params.n_trees >= 1);
-        let mut rng = StdRng::seed_from_u64(seed);
         let d = data.n_features();
         let mtry = params
             .tree
@@ -60,18 +64,19 @@ impl Forest {
             .clamp(1, d.max(1));
         let tree_params = CartParams { max_features: Some(mtry), ..params.tree.clone() };
 
-        let mut trees = Vec::with_capacity(params.n_trees);
-        let mut raw = vec![0.0; d];
-        for _ in 0..params.n_trees {
+        let trees: Vec<DecisionTree> = bs_par::par_map_range(params.n_trees, |i| {
+            let mut rng = StdRng::seed_from_u64(bs_par::derive_seed(seed, i as u64));
             // Bootstrap sample with replacement, same size as the data.
             let indices: Vec<usize> =
                 (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
             let tree_seed: u64 = rng.gen();
-            let tree = DecisionTree::fit_on_indices(data, &indices, &tree_params, tree_seed);
+            DecisionTree::fit_on_indices(data, &indices, &tree_params, tree_seed)
+        });
+        let mut raw = vec![0.0; d];
+        for tree in &trees {
             for (acc, v) in raw.iter_mut().zip(tree.raw_importances()) {
                 *acc += v;
             }
-            trees.push(tree);
         }
         let total: f64 = raw.iter().sum();
         let importances = if total > 0.0 { raw.iter().map(|v| v / total).collect() } else { raw };

@@ -16,16 +16,18 @@ pub struct MajorityEnsemble {
 
 impl MajorityEnsemble {
     /// Train `runs` models of `algorithm` on `data` with derived seeds.
+    ///
+    /// The runs are independent by construction (that is the point of
+    /// the vote), so they train in parallel on the [`bs_par`] pool;
+    /// each run's seed depends only on `(seed, run index)`, keeping the
+    /// ensemble bit-identical at every thread count.
     pub fn fit(algorithm: &Algorithm, data: &Dataset, runs: usize, seed: u64) -> Self {
         assert!(runs >= 1);
         let _span = bs_telemetry::span("ml.train");
         bs_telemetry::counter_add("ml.fits", runs as u64);
-        let models = (0..runs)
-            .map(|i| {
-                algorithm
-                    .fit(data, seed.wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F)))
-            })
-            .collect();
+        let models = bs_par::par_map_range(runs, |i| {
+            algorithm.fit(data, seed.wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F)))
+        });
         MajorityEnsemble { models, n_classes: data.n_classes() }
     }
 

@@ -1,0 +1,205 @@
+//! `bs-par` — deterministic work-stealing parallelism for the
+//! dns-backscatter pipeline.
+//!
+//! The paper's workload is embarrassingly parallel at three levels:
+//! random-forest trees are independent given per-tree seeds, the 10-run
+//! majority vote (§IV) is independent per run, and feature extraction
+//! is independent per originator. This crate provides the one shared
+//! substrate all of those use, with **zero external dependencies**
+//! (`std::thread::scope` plus `std::sync` primitives):
+//!
+//! * [`par_map`] / [`par_map_range`] — map a function over a slice (or
+//!   index range), preserving input order in the output;
+//! * [`par_chunks`] — the same over fixed-size chunks, for fine-grained
+//!   items where per-element task overhead would dominate;
+//! * [`join`] — run two independent closures concurrently;
+//! * [`scope`] — escape hatch: a re-export of [`std::thread::scope`]
+//!   for irregular task shapes;
+//! * [`derive_seed`] — the splitmix64 seed-derivation scheme that makes
+//!   parallel runs bit-identical to sequential ones.
+//!
+//! # Determinism contract
+//!
+//! Every primitive here returns results **in task-index order**,
+//! regardless of which worker executed which task and in what order.
+//! Callers must derive any per-task randomness from
+//! `derive_seed(master, task_index)` — never from a shared sequential
+//! RNG — and must do any floating-point reduction *after* the parallel
+//! section, iterating results in index order. Under those two rules,
+//! output is bit-identical at every thread count; the workspace's
+//! determinism tests assert exactly that at `BS_THREADS=1` vs `8`.
+//!
+//! # Sizing
+//!
+//! The pool size resolves, in priority order: [`set_threads`] (the
+//! CLI's `--threads` flag) → the `BS_THREADS` environment variable →
+//! [`std::thread::available_parallelism`]. Workers are scoped threads
+//! spawned per parallel region — there is no persistent pool to keep
+//! alive or shut down, so borrows of stack data just work and a
+//! panicking task propagates to the caller.
+//!
+//! # Scheduling
+//!
+//! Tasks are dealt to per-worker deques in contiguous index blocks;
+//! each worker pops from the front of its own deque and, when empty,
+//! steals the back half of a victim's. (The classic Chase–Lev deque —
+//! `crossbeam` — is unavailable in the offline build environment, so
+//! stealing uses `Mutex<VecDeque>`; with block-granularity tasks the
+//! lock is cold.) Nested parallel regions run sequentially inside pool
+//! workers, so the thread count stays bounded by the pool size at any
+//! nesting depth: when the core pipeline parallelizes over windows,
+//! the forests inside each window train sequentially, and when there
+//! is only one window, the forest level parallelizes instead.
+//!
+//! # Telemetry
+//!
+//! Parallel regions publish through `bs-telemetry`: `par.tasks`
+//! (counter: tasks executed), `par.steals` (counter: successful
+//! steals), `par.threads` (gauge: resolved pool size), and `par.run`
+//! (histogram: nanoseconds per parallel region).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod seed;
+
+pub use pool::{join, par_chunks, par_map, par_map_range, scope, set_threads, threads};
+pub use seed::derive_seed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the global thread override.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_override<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(n);
+        let r = f();
+        set_threads(0);
+        r
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for t in [1, 2, 4, 8] {
+            let got = with_override(t, || par_map(&items, |_, x| x * 3 + 1));
+            assert_eq!(got, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_range_matches_sequential() {
+        let seq: Vec<u64> = (0..257).map(|i| derive_seed(42, i)).collect();
+        let par = with_override(8, || par_map_range(257, |i| derive_seed(42, i as u64)));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(&empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[7], |i, x| (i, *x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        let items: Vec<usize> = (0..1013).collect();
+        let sums = with_override(4, || par_chunks(&items, 64, |_, c| c.iter().sum::<usize>()));
+        assert_eq!(sums.len(), 1013usize.div_ceil(64));
+        assert_eq!(sums.iter().sum::<usize>(), 1013 * 1012 / 2);
+        // Chunk indices map to the right slices.
+        let firsts = with_override(4, || par_chunks(&items, 64, |ci, c| (ci, c[0])));
+        for (ci, first) in firsts {
+            assert_eq!(first, ci * 64);
+        }
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = with_override(2, || join(|| 2 + 2, || "ok".to_string()));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+        // Sequential path too.
+        let (a, b) = with_override(1, || join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn nested_par_map_stays_bounded_and_correct() {
+        // Outer 4-wide map, each task runs an inner map; inner maps
+        // must fall back to sequential inside workers, and the result
+        // must still be correct and ordered.
+        let got = with_override(4, || {
+            par_map_range(4, |outer| par_map_range(100, move |inner| outer * 100 + inner))
+        });
+        for (outer, inner_vec) in got.iter().enumerate() {
+            assert_eq!(inner_vec.len(), 100);
+            for (inner, v) in inner_vec.iter().enumerate() {
+                assert_eq!(*v, outer * 100 + inner);
+            }
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        with_override(8, || {
+            par_map_range(500, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn uneven_task_durations_still_order_results() {
+        // Early indices sleep so later ones finish first; output order
+        // must not depend on completion order.
+        let got = with_override(4, || {
+            par_map_range(16, |i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                i * i
+            })
+        });
+        assert_eq!(got, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(0);
+        assert!(threads() >= 1);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+    }
+
+    #[test]
+    fn derive_seed_spreads_indices() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(derive_seed(0xDEAD_BEEF, i));
+        }
+        assert_eq!(seen.len(), 10_000, "derived seeds must not collide trivially");
+        // Different masters diverge on the same index.
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(2);
+        let r = std::panic::catch_unwind(|| {
+            par_map_range(8, |i| if i == 5 { panic!("task boom") } else { i });
+        });
+        set_threads(0);
+        assert!(r.is_err(), "a panicking task must fail the parallel region");
+    }
+}

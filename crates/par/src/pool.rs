@@ -1,0 +1,222 @@
+//! The scoped work-stealing pool.
+//!
+//! There are no persistent worker threads: each parallel region spawns
+//! its workers inside [`std::thread::scope`], so closures may borrow
+//! stack data freely and a panicking task unwinds into the caller.
+//! What *is* global is the sizing policy ([`threads`]) and the
+//! nested-region guard (a thread-local flag marking pool workers, under
+//! which nested regions degrade to sequential execution).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Explicit override (0 = none). Set by [`set_threads`] / `--threads`.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily resolved default: `BS_THREADS` env, else available cores.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// True on threads spawned as pool workers; nested parallel
+    /// regions on such threads run sequentially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The resolved pool size: [`set_threads`] override → `BS_THREADS`
+/// environment variable → [`std::thread::available_parallelism`].
+/// Always at least 1.
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    *DEFAULT.get_or_init(|| {
+        std::env::var("BS_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    })
+}
+
+/// Override the pool size for the whole process (the CLI's `--threads`
+/// flag). `0` clears the override, returning to `BS_THREADS` / core
+/// count. Takes effect for parallel regions started after the call.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Whether the current thread is a pool worker (nested regions run
+/// sequentially there).
+fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// A re-export of [`std::thread::scope`] for irregular task shapes the
+/// structured primitives don't fit. Spawned threads are *not* counted
+/// against the pool size; prefer [`par_map`] / [`join`] where possible.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(f)
+}
+
+/// Map `f` over `items` in parallel; `f` receives `(index, &item)` and
+/// the output preserves input order exactly.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(i, &items[i]))
+}
+
+/// Map `f` over the index range `0..n` in parallel, preserving index
+/// order in the output. The deterministic core of every other
+/// primitive: `f` must depend only on its index argument (derive
+/// per-task RNG seeds via [`crate::derive_seed`]).
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let t = if n <= 1 || in_worker() { 1 } else { threads().min(n) };
+    if t <= 1 {
+        bs_telemetry::counter_add("par.tasks", n as u64);
+        return (0..n).map(f).collect();
+    }
+    run_stealing(n, t, &f)
+}
+
+/// Map `f` over `chunk_size`-sized chunks of `items` in parallel; `f`
+/// receives `(chunk_index, chunk)` and outputs stay in chunk order.
+/// Use for fine-grained items where one task per element would drown
+/// in scheduling overhead.
+pub fn par_chunks<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(chunk_size >= 1, "chunk_size must be at least 1");
+    let chunks = items.len().div_ceil(chunk_size);
+    par_map_range(chunks, |ci| {
+        let lo = ci * chunk_size;
+        let hi = (lo + chunk_size).min(items.len());
+        f(ci, &items[lo..hi])
+    })
+}
+
+/// Run two independent closures, concurrently when a core is free.
+/// `b` runs on a spawned scoped thread, `a` on the caller's.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RB: Send,
+{
+    if threads() <= 1 || in_worker() {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join: spawned side panicked"))
+    })
+}
+
+/// The work-stealing execution of `n` tasks on `t` workers.
+///
+/// Indices are dealt to per-worker deques in contiguous blocks; a
+/// worker pops its own front (preserving cache-friendly sweep order)
+/// and steals the back half of a victim's deque when dry. Tasks are
+/// never duplicated: ownership moves under the victim's lock. A worker
+/// retires after one full failed steal sweep — any work it missed is
+/// in the hands of the thief that took it.
+fn run_stealing<U, F>(n: usize, t: usize, f: &F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let _span = bs_telemetry::span("par.run");
+    bs_telemetry::gauge_set("par.threads", t as i64);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..t)
+        .map(|w| {
+            let lo = w * n / t;
+            let hi = (w + 1) * n / t;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+    let steals = AtomicU64::new(0);
+    let queues = &queues;
+    let steals = &steals;
+
+    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..t)
+            .map(|w| {
+                s.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    let mut done = Vec::with_capacity(n / t + 1);
+                    while let Some(i) = next_task(queues, w, steals) {
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    });
+
+    bs_telemetry::counter_add("par.tasks", n as u64);
+    bs_telemetry::counter_add("par.steals", steals.load(Ordering::Relaxed));
+
+    // Reassemble in task-index order, independent of execution order.
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for part in parts {
+        for (i, u) in part {
+            debug_assert!(out[i].is_none(), "task {i} executed twice");
+            out[i] = Some(u);
+        }
+    }
+    out.into_iter().map(|u| u.expect("every task index executed")).collect()
+}
+
+/// Pop the worker's own deque, or steal the back half of another's.
+fn next_task(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -> Option<usize> {
+    if let Some(i) = lock(&queues[w]).pop_front() {
+        return Some(i);
+    }
+    let t = queues.len();
+    for k in 1..t {
+        let victim = (w + k) % t;
+        let mut vq = lock(&queues[victim]);
+        if vq.is_empty() {
+            continue;
+        }
+        // Take the back half (at least one task), release the victim,
+        // then stock our own (empty — only we push to it) deque.
+        let keep = vq.len() / 2;
+        let stolen = vq.split_off(keep);
+        drop(vq);
+        steals.fetch_add(1, Ordering::Relaxed);
+        let mut own = lock(&queues[w]);
+        debug_assert!(own.is_empty());
+        *own = stolen;
+        if let Some(i) = own.pop_front() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Lock a deque, surviving poison: a panicked worker aborts the region
+/// anyway (its join handle propagates), so the queue state is moot.
+fn lock(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,38 @@
+//! Per-task seed derivation.
+
+/// Derive an independent per-task seed from a master seed and a stable
+/// task index (splitmix64 over their combination).
+///
+/// This is the workspace-wide scheme behind the determinism contract:
+/// task `i` gets the same seed whether it runs first on one thread or
+/// last on eight, so randomized stages (bootstrap sampling, per-split
+/// feature subsampling, the 10-run vote) produce bit-identical output
+/// at any thread count. The splitmix64 finalizer scatters consecutive
+/// indices across the full 64-bit space, so per-task `StdRng` streams
+/// are effectively uncorrelated.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    // index + 1 keeps (0, 0) off the finalizer's fixed point at zero.
+    let mut z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_index_sensitive() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+        assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+        assert_ne!(derive_seed(7, 3), derive_seed(8, 3));
+    }
+
+    #[test]
+    fn zero_master_zero_index_is_not_zero() {
+        // StdRng::seed_from_u64(0) is fine, but a degenerate all-zero
+        // output would correlate the (0, 0) task with unseeded streams.
+        assert_ne!(derive_seed(0, 0), 0);
+    }
+}

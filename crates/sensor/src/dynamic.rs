@@ -82,7 +82,7 @@ impl DynamicFeatures {
     /// [`crate::Observations::total_ases`]).
     pub fn compute(
         obs: &OriginatorObservation,
-        info: &impl QuerierInfo,
+        info: &(impl QuerierInfo + Sync),
         window_start: SimTime,
         window_end: SimTime,
         total_ases: usize,
@@ -106,14 +106,18 @@ impl DynamicFeatures {
         let persistence = active_periods.len() as f64 / total_periods as f64;
 
         // Spatial.
-        let slash24s: Vec<u32> = obs.queriers.iter().map(|q| u32::from(*q) >> 8).collect();
-        let slash8s: Vec<u32> = obs.queriers.iter().map(|q| u32::from(*q) >> 24).collect();
+        let queriers: Vec<std::net::Ipv4Addr> = obs.queriers.iter().copied().collect();
+        let slash24s: Vec<u32> = queriers.iter().map(|q| u32::from(*q) >> 8).collect();
+        let slash8s: Vec<u32> = queriers.iter().map(|q| u32::from(*q) >> 24).collect();
         let local_entropy = normalized_entropy(&slash24s, nq as f64);
         let global_entropy = normalized_entropy(&slash8s, 256.0);
 
-        let ases: BTreeSet<_> = obs.queriers.iter().filter_map(|q| info.querier_as(*q)).collect();
-        let countries: BTreeSet<_> =
-            obs.queriers.iter().filter_map(|q| info.querier_country(*q)).collect();
+        // The per-querier AS/country lookups are the expensive part for
+        // large footprints (they consult external metadata). Chunked
+        // parallel lookup is deterministic because the chunk results
+        // merge into sets — order cannot matter.
+        let ases = unique_by(&queriers, |q| info.querier_as(q));
+        let countries = unique_by(&queriers, |q| info.querier_country(q));
         let ratio = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
 
         DynamicFeatures {
@@ -127,6 +131,26 @@ impl DynamicFeatures {
             ases_per_querier: ases.len() as f64 / nq as f64,
         }
     }
+}
+
+/// Queriers per parallel metadata-lookup task; below one chunk the
+/// lookup runs sequentially with no task overhead.
+const LOOKUP_CHUNK: usize = 4096;
+
+/// The distinct non-`None` values of `f` over `queriers`, computed in
+/// [`LOOKUP_CHUNK`]-sized parallel tasks and merged as a set union.
+pub(crate) fn unique_by<V: Ord + Send>(
+    queriers: &[std::net::Ipv4Addr],
+    f: impl Fn(std::net::Ipv4Addr) -> Option<V> + Sync,
+) -> BTreeSet<V> {
+    let chunks = bs_par::par_chunks(queriers, LOOKUP_CHUNK, |_, c| {
+        c.iter().filter_map(|q| f(*q)).collect::<BTreeSet<V>>()
+    });
+    let mut all = BTreeSet::new();
+    for s in chunks {
+        all.extend(s);
+    }
+    all
 }
 
 /// Shannon entropy of the value histogram, normalized by `ln(alphabet)`

@@ -75,7 +75,7 @@ pub struct OriginatorFeatures {
 /// of `log`, ranked by footprint.
 pub fn extract_features(
     log: &QueryLog,
-    info: &impl QuerierInfo,
+    info: &(impl QuerierInfo + Sync),
     start: SimTime,
     end: SimTime,
     config: &FeatureConfig,
@@ -85,43 +85,46 @@ pub fn extract_features(
 }
 
 /// Extraction step reusable when the caller already ingested the log.
+///
+/// Originators are independent, so their feature vectors compute in
+/// parallel on the [`bs_par`] pool; the output keeps the footprint
+/// ranking of [`select_analyzable`] because results collect in task
+/// order.
 pub fn extract_from_observations(
     obs: &Observations,
-    info: &impl QuerierInfo,
+    info: &(impl QuerierInfo + Sync),
     config: &FeatureConfig,
 ) -> Vec<OriginatorFeatures> {
     let _span = bs_telemetry::span("sensor.extract");
     let total_ases = obs.total_ases(info);
     let total_countries = obs.total_countries(info);
-    let out: Vec<OriginatorFeatures> = select_analyzable(obs, config.min_queriers, config.top_n)
-        .into_iter()
-        .map(|o| {
-            let mut static_counts = [0usize; 14];
-            for q in &o.queriers {
-                let f = classify_querier_name(&info.querier_name(*q));
-                static_counts[f.index()] += 1;
-            }
-            let nq = o.querier_count().max(1) as f64;
-            let mut static_fractions = [0.0; 14];
-            for (frac, count) in static_fractions.iter_mut().zip(static_counts) {
-                *frac = count as f64 / nq;
-            }
-            let dynamic = DynamicFeatures::compute(
-                o,
-                info,
-                obs.window_start,
-                obs.window_end,
-                total_ases,
-                total_countries,
-            );
-            OriginatorFeatures {
-                originator: o.originator,
-                querier_count: o.querier_count(),
-                query_count: o.query_count(),
-                features: FeatureVector { static_fractions, dynamic },
-            }
-        })
-        .collect();
+    let selected = select_analyzable(obs, config.min_queriers, config.top_n);
+    let out: Vec<OriginatorFeatures> = bs_par::par_map(&selected, |_, &o| {
+        let mut static_counts = [0usize; 14];
+        for q in &o.queriers {
+            let f = classify_querier_name(&info.querier_name(*q));
+            static_counts[f.index()] += 1;
+        }
+        let nq = o.querier_count().max(1) as f64;
+        let mut static_fractions = [0.0; 14];
+        for (frac, count) in static_fractions.iter_mut().zip(static_counts) {
+            *frac = count as f64 / nq;
+        }
+        let dynamic = DynamicFeatures::compute(
+            o,
+            info,
+            obs.window_start,
+            obs.window_end,
+            total_ases,
+            total_countries,
+        );
+        OriginatorFeatures {
+            originator: o.originator,
+            querier_count: o.querier_count(),
+            query_count: o.query_count(),
+            features: FeatureVector { static_fractions, dynamic },
+        }
+    });
     bs_telemetry::counter_add("sensor.features_extracted", out.len() as u64);
     out
 }

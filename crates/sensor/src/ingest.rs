@@ -117,17 +117,17 @@ impl Observations {
     }
 
     /// Unique ASes among all queriers in the window, given a resolver.
-    pub fn total_ases(&self, info: &impl crate::QuerierInfo) -> usize {
-        self.all_queriers.iter().filter_map(|q| info.querier_as(*q)).collect::<BTreeSet<_>>().len()
+    /// Chunked parallel lookup (set-union merge, order-independent).
+    pub fn total_ases(&self, info: &(impl crate::QuerierInfo + Sync)) -> usize {
+        let queriers: Vec<Ipv4Addr> = self.all_queriers.iter().copied().collect();
+        crate::dynamic::unique_by(&queriers, |q| info.querier_as(q)).len()
     }
 
     /// Unique countries among all queriers in the window.
-    pub fn total_countries(&self, info: &impl crate::QuerierInfo) -> usize {
-        self.all_queriers
-            .iter()
-            .filter_map(|q| info.querier_country(*q))
-            .collect::<BTreeSet<_>>()
-            .len()
+    /// Chunked parallel lookup (set-union merge, order-independent).
+    pub fn total_countries(&self, info: &(impl crate::QuerierInfo + Sync)) -> usize {
+        let queriers: Vec<Ipv4Addr> = self.all_queriers.iter().copied().collect();
+        crate::dynamic::unique_by(&queriers, |q| info.querier_country(q)).len()
     }
 
     /// Number of originators observed at all.

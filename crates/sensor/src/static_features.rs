@@ -129,14 +129,19 @@ const CDN_SUFFIXES: &[&str] = &["akamai", "edgecast", "cdnetworks", "llnw", "chi
 /// keyword followed by `-`/digits (so `mail2`, `mail-ns`, `dsl1-2-3-4`
 /// all match, but `mailing` does not — a trailing letter means a
 /// different word).
-fn component_matches(component: &str, keyword: &str) -> bool {
-    if let Some(rest) = component.strip_prefix(keyword) {
-        rest.is_empty()
-            || rest.starts_with('-')
-            || rest.chars().next().is_some_and(|c| c.is_ascii_digit())
-    } else {
-        false
+///
+/// Operates on raw label bytes with ASCII-case-insensitive comparison:
+/// this runs once per querier label on the hot extraction path, and
+/// lowercasing into a fresh `String` per label dominated the matcher's
+/// profile. DNS labels are ASCII by construction ([`bs_dns::Label`]
+/// validates the character set), so byte-wise ASCII folding is exact.
+fn component_matches(component: &[u8], keyword: &[u8]) -> bool {
+    if component.len() < keyword.len() {
+        return false;
     }
+    let (head, rest) = component.split_at(keyword.len());
+    head.eq_ignore_ascii_case(keyword)
+        && (rest.is_empty() || rest[0] == b'-' || rest[0].is_ascii_digit())
 }
 
 /// Which dot-component wins when several match (ablation knob; the
@@ -149,44 +154,45 @@ pub enum MatchOrder {
     RightmostFirst,
 }
 
-fn classify_component(component: &str) -> Option<StaticFeature> {
+fn classify_component(component: &[u8]) -> Option<StaticFeature> {
     for (feature, keywords) in RULES {
         for kw in *keywords {
-            if component_matches(component, kw) {
+            if component_matches(component, kw.as_bytes()) {
                 return Some(*feature);
             }
         }
     }
     // Operator suffixes are whole components (akamai, amazonaws, …).
-    if CDN_SUFFIXES.contains(&component) {
+    if CDN_SUFFIXES.iter().any(|s| component.eq_ignore_ascii_case(s.as_bytes())) {
         return Some(StaticFeature::Cdn);
     }
-    match component {
-        "amazonaws" => Some(StaticFeature::Aws),
-        "azure" | "msazure" => Some(StaticFeature::Ms),
-        "google" => Some(StaticFeature::Google),
-        _ => None,
+    if component.eq_ignore_ascii_case(b"amazonaws") {
+        Some(StaticFeature::Aws)
+    } else if component.eq_ignore_ascii_case(b"azure") || component.eq_ignore_ascii_case(b"msazure")
+    {
+        Some(StaticFeature::Ms)
+    } else if component.eq_ignore_ascii_case(b"google") {
+        Some(StaticFeature::Google)
+    } else {
+        None
     }
 }
 
 /// Classify a reverse name into a static category with an explicit
 /// component-scan order.
 pub fn classify_name_with_order(name: &DomainName, order: MatchOrder) -> StaticFeature {
-    let classify_seq = |iter: &mut dyn Iterator<Item = String>| {
+    fn classify_seq<'a>(iter: impl Iterator<Item = &'a [u8]>) -> StaticFeature {
         for component in iter {
-            if let Some(f) = classify_component(&component) {
+            if let Some(f) = classify_component(component) {
                 return f;
             }
         }
         StaticFeature::OtherUnclassified
-    };
+    }
+    let labels = name.labels().iter().map(|l| l.as_str().as_bytes());
     match order {
-        MatchOrder::LeftmostFirst => {
-            classify_seq(&mut name.labels().iter().map(|l| l.to_lowercase()))
-        }
-        MatchOrder::RightmostFirst => {
-            classify_seq(&mut name.labels().iter().rev().map(|l| l.to_lowercase()))
-        }
+        MatchOrder::LeftmostFirst => classify_seq(labels),
+        MatchOrder::RightmostFirst => classify_seq(labels.rev()),
     }
 }
 

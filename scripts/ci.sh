@@ -11,10 +11,16 @@ cargo fmt --all -- --check
 echo "=== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-par (the parallelism layer, separately)"
+cargo clippy -p bs-par --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
 
-echo "=== cargo test"
+echo "=== cargo test (sequential: BS_THREADS=1)"
+BS_THREADS=1 cargo test -q
+
+echo "=== cargo test (parallel: default thread count)"
 cargo test -q
 
 echo "=== ci: all green"

@@ -33,6 +33,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // --threads N works on every subcommand: size the bs-par pool
+    // before any parallel region starts (0 or absent = BS_THREADS env,
+    // else all available cores).
+    if let Some(t) = flags.get("threads") {
+        match t.parse::<usize>() {
+            Ok(n) => dns_backscatter::par::set_threads(n),
+            Err(_) => {
+                eprintln!("error: --threads expects a number, got {t:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // --metrics <path> works on every subcommand: enable the registry
     // up front, snapshot to the path on success.
     let metrics_path = flags.get("metrics").cloned();
@@ -91,10 +103,15 @@ metric naming: dotted crate.stage names, e.g.
   ml.trees_built, ml.fits    learner effort
   classify.models_trained    windows with a trainable label set
   core.curate/.retrain/.classify   per-stage latency histograms (ns)
+  par.tasks/.steals          work-stealing pool tasks run and steals
+  par.threads                gauge: resolved pool size
+  par.run                    latency histogram per parallel region (ns)
   log.error/.warn/.info/.debug     logger event counts
 
 histograms report count, sum, max, p50, p90, p99 in nanoseconds.
-logging: set BS_LOG=off|error|warn|info|debug (default info)."
+logging: set BS_LOG=off|error|warn|info|debug (default info).
+parallelism: --threads <N> or BS_THREADS (default all cores);
+results are bit-identical at any thread count."
             );
             Ok(())
         }
@@ -135,7 +152,9 @@ commands:
             describe the telemetry metrics, or dump a snapshot
 
 every command accepts --metrics <path> to write a JSON telemetry
-snapshot (counters, gauges, latency histograms) on success; set
+snapshot (counters, gauges, latency histograms) on success, and
+--threads <N> to size the worker pool (default: BS_THREADS env, else
+all cores; results are bit-identical at any thread count); set
 BS_LOG=off|error|warn|info|debug to control log verbosity.
 
 datasets: JP-ditl, B-post-ditl, B-long, B-multi-year, M-ditl, M-ditl-2015, M-sampled"
