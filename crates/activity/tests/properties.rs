@@ -47,7 +47,7 @@ proptest! {
     fn lifetimes_bounded(class_idx in 0usize..12, h in any::<u64>()) {
         let class = ApplicationClass::from_index(class_idx).unwrap();
         let l = lifetime_days(class, h);
-        prop_assert!(l >= 2.0 && l <= 3000.0, "lifetime {l}");
+        prop_assert!((2.0..=3000.0).contains(&l), "lifetime {l}");
         prop_assert_eq!(l, lifetime_days(class, h));
     }
 

@@ -114,7 +114,7 @@ mod tests {
     struct ToyBl;
     impl BlacklistView for ToyBl {
         fn bls(&self, ip: Ipv4Addr) -> u8 {
-            u8::from(ip.octets()[3] % 2 == 0)
+            u8::from(ip.octets()[3].is_multiple_of(2))
         }
         fn blo(&self, _ip: Ipv4Addr) -> u8 {
             0

@@ -1,7 +1,7 @@
 //! Fig. 11: originators per week over the M-sampled span, total and per
-//! class. Expected shape: a continuous background of scanning with a
-//! >25 % scan bump in the weeks after the Heartbleed-style disclosure
-//! (~20 % into the span) and a smaller one near the end (Shellshock).
+//! class. Expected shape: a continuous background of scanning with a >25 %
+//! scan bump in the weeks after the Heartbleed-style disclosure (~20 %
+//! into the span) and a smaller one near the end (Shellshock).
 
 use backscatter_core::analysis::trends::class_counts_per_window;
 use backscatter_core::prelude::*;

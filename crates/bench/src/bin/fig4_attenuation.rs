@@ -15,7 +15,7 @@ fn main() {
     let world = standard_world();
     // A delegated prober whose final authority we instrument.
     let prober = (0..10_000u64)
-        .map(|i| world.random_public_addr(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF16_4))
+        .map(|i| world.random_public_addr(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF164))
         .find(|a| matches!(world.delegation(*a), Delegation::Delegated { .. }))
         .expect("delegated prober exists");
 

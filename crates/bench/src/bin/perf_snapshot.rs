@@ -11,9 +11,12 @@
 //! (`wall_ms_disabled` vs `wall_ms_enabled`) and record the
 //! sequential-vs-parallel trajectory (`wall_ms_sequential` vs
 //! `wall_ms_parallel`, with `threads` saying how wide the parallel run
-//! was). The sequential and parallel runs must classify identically —
-//! the process asserts the determinism contract before writing
-//! anything.
+//! was). A fourth run turns on the `bs-trace` flight recorder and
+//! conservation ledger (`wall_ms_trace_enabled` vs `wall_ms_enabled`
+//! bounds the cost of `--trace`; `trace_events` is the recorded event
+//! count, and the ledger must verify balanced). All runs must classify
+//! identically — the process asserts the determinism contract before
+//! writing anything.
 //!
 //! ```bash
 //! cargo run --release -p bench --bin perf_snapshot
@@ -49,10 +52,27 @@ fn main() {
     let classified_seq = run_pipeline(&world);
     let seq_ms = t0.elapsed().as_millis() as i64;
 
+    // Traced run: default width with the bs-trace flight recorder and
+    // conservation ledger on — bounds the cost of `--trace` itself
+    // (compare wall_ms_trace_enabled against wall_ms_enabled).
+    backscatter_core::par::set_threads(0);
+    backscatter_core::trace::enable();
+    backscatter_core::trace::drain();
+    backscatter_core::trace::ledger::reset();
+    let t0 = Instant::now();
+    let classified_traced = run_pipeline(&world);
+    let traced_ms = t0.elapsed().as_millis() as i64;
+    let trace_events = backscatter_core::trace::drain().len();
+    assert!(
+        backscatter_core::trace::ledger::verify().is_empty(),
+        "traced run must balance the drop-accounting ledger"
+    );
+    backscatter_core::trace::ledger::reset();
+    backscatter_core::trace::disable();
+
     // Parallel run: default width (BS_THREADS / all cores). This is
     // the snapshot that gets written, so its telemetry is the record.
     backscatter_core::telemetry::reset();
-    backscatter_core::par::set_threads(0);
     let threads = backscatter_core::par::threads();
     let t0 = Instant::now();
     let classified_par = run_pipeline(&world);
@@ -63,12 +83,17 @@ fn main() {
         classified_par, classified_seq,
         "parallel output must be bit-identical to sequential"
     );
+    assert_eq!(classified_par, classified_traced, "tracing must not change results");
 
     backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_disabled", off_ms);
     backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_enabled", par_ms);
     backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_sequential", seq_ms);
     backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_parallel", par_ms);
     backscatter_core::telemetry::gauge_set("bench.pipeline.threads", threads as i64);
+    // `--trace` overhead: same pipeline at the same width with the
+    // flight recorder + ledger on vs off (wall_ms_enabled).
+    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_trace_enabled", traced_ms);
+    backscatter_core::telemetry::gauge_set("bench.pipeline.trace_events", trace_events as i64);
 
     let out: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()

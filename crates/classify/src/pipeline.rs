@@ -58,6 +58,16 @@ impl ClassifierPipeline {
     ) -> Option<TrainedClassifier> {
         let _span = bs_telemetry::span("classify.train");
         let data = Self::to_dataset(labeled, features);
+        // Every labeled example is either trained on or dropped by
+        // `to_dataset` for lacking features this window.
+        bs_trace::ledger::record(
+            "classify.train",
+            labeled.examples.len() as u64,
+            &[
+                ("used", data.len() as u64),
+                ("missing_features", (labeled.examples.len() - data.len()) as u64),
+            ],
+        );
         if data.is_empty() || data.present_classes().len() < 2 {
             bs_telemetry::counter_add("classify.untrainable_windows", 1);
             return None;

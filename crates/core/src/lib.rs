@@ -27,6 +27,7 @@
 //! | [`analysis`] | `bs-analysis` | footprints, trends, churn, teams |
 //! | [`telemetry`] | `bs-telemetry` | counters, spans, structured logging, exporters |
 //! | [`par`] | `bs-par` | deterministic work-stealing parallelism (`BS_THREADS`) |
+//! | [`trace`] | `bs-trace` | causal tracing, flight recorder, drop-accounting ledger |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use bs_netsim as netsim;
 pub use bs_par as par;
 pub use bs_sensor as sensor;
 pub use bs_telemetry as telemetry;
+pub use bs_trace as trace;
 
 pub mod pipeline;
 

@@ -63,6 +63,9 @@ impl DatasetPipeline {
             let _span = bs_telemetry::span("core.curate");
             for &cw in &self.curation_windows {
                 let Some(window) = windows.get(cw) else { continue };
+                // Sensor-stage ledger entries from curation land in the
+                // curated window's cell, not the ambient one.
+                let _w = bs_trace::ledger::window_scope(cw as u64);
                 let feats = built.features_for_window(world, *window, &self.feature_config);
                 let truth = built.truth_for_window(*window);
                 labels.merge(&LabeledSet::curate(&truth, &feats, self.per_class_cap));
@@ -82,6 +85,7 @@ impl DatasetPipeline {
         // into training and extraction instead (nested regions run
         // sequentially inside pool workers).
         let out: Vec<WindowClassification> = bs_par::par_map(&windows, |w, window| {
+            let _wscope = bs_trace::ledger::window_scope(w as u64);
             let feats = built.features_for_window(world, *window, &self.feature_config);
             let fmap = feature_map(&feats);
             let model = {
@@ -110,6 +114,16 @@ impl DatasetPipeline {
                 }
             };
             bs_telemetry::counter_add("core.windows", 1);
+            // Conservation per window: every analyzable originator is
+            // either classified or lost to an untrainable window.
+            bs_trace::ledger::record(
+                "core.window",
+                feats.len() as u64,
+                &[
+                    ("classified", entries.len() as u64),
+                    ("untrainable", (feats.len() - entries.len()) as u64),
+                ],
+            );
             WindowClassification { window: w, entries }
         });
         PipelineRun { windows: out, labels }

@@ -71,6 +71,16 @@ pub fn build_dataset(world: &World, spec: DatasetSpec) -> BuiltDataset {
     let log = logs.remove(&spec.authority).expect("observed authority");
     let (blacklist, darknet) = build_oracles(&scenario, spec.scenario.seed);
     bs_telemetry::counter_add("datasets.built", 1);
+    // Simulation-side conservation: every contact either produced at
+    // least one reverse lookup or stayed silent.
+    bs_trace::ledger::record(
+        "datasets.build",
+        stats.contacts,
+        &[
+            ("reacting", stats.reacting_contacts),
+            ("silent", stats.contacts - stats.reacting_contacts),
+        ],
+    );
     bs_telemetry::debug!(
         "datasets.build",
         "dataset simulated";

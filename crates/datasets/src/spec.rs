@@ -295,7 +295,7 @@ impl DatasetSpec {
         let mut start = SimTime::ZERO;
         while start.secs() + window.secs() <= span.secs() {
             out.push((start, start + window));
-            start = start + stride;
+            start += stride;
         }
         out
     }

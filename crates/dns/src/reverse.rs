@@ -100,8 +100,8 @@ pub fn parse_reverse_v6(name: &DomainName) -> Option<Ipv6Addr> {
         return None;
     }
     let mut octets = [0u8; 16];
-    for i in 0..32 {
-        let s = labels[i].as_str();
+    for (i, label) in labels.iter().enumerate().take(32) {
+        let s = label.as_str();
         if s.len() != 1 {
             return None;
         }
@@ -141,7 +141,7 @@ impl ReverseZone {
         }
         let raw = u32::from(prefix);
         let mask = if plen == 0 { 0 } else { u32::MAX << (32 - plen) };
-        Some(ReverseZone { prefix: Ipv4Addr::from(raw & mask), plen: plen as u8 })
+        Some(ReverseZone { prefix: Ipv4Addr::from(raw & mask), plen })
     }
 
     /// The whole reverse tree (`in-addr.arpa`), which the root serves.

@@ -152,9 +152,8 @@ mod tests {
             vec!["a".into(), "b".into(), "c".into()],
         );
         let centers = [(0.0, 0.0), (3.0, 0.0), (0.0, 3.0)];
-        for label in 0..3 {
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..n {
-                let (cx, cy) = centers[label];
                 d.push(Sample {
                     features: vec![
                         cx + rng.gen_range(-0.8..0.8),

@@ -422,7 +422,7 @@ impl<'w> Simulator<'w> {
         let seq = *count;
         *count += 1;
         if let Some(&n) = self.config.sampling.get(&authority) {
-            if seq % n as u64 != 0 {
+            if !seq.is_multiple_of(n as u64) {
                 return;
             }
         }

@@ -77,7 +77,7 @@ fn org_label(h: u64, syllable_count: usize) -> String {
         x = mix64(x);
     }
     // A numeric suffix on roughly a third of orgs, like real ISP branding.
-    if x % 3 == 0 {
+    if x.is_multiple_of(3) {
         s.push_str(&format!("{}", x % 90 + 10));
     }
     s
@@ -92,7 +92,7 @@ pub fn org_domain(seed: u64, org_key: u64, country: CountryCode) -> DomainName {
     let h = hash2(seed ^ 0x0126_5732_81AC_0001, org_key, 1);
     let label = org_label(h, 2 + (h % 2) as usize);
     let tld_h = mix64(h ^ 0x77);
-    let tld = if tld_h % 3 != 0 {
+    let tld = if !tld_h.is_multiple_of(3) {
         country.as_str().to_string()
     } else {
         GTLDS[bounded(tld_h, GTLDS.len() as u64) as usize].to_string()
@@ -117,7 +117,7 @@ pub fn host_name(seed: u64, addr: Ipv4Addr, role: HostRole, org: &DomainName) ->
         HostRole::Home => {
             let kw = pick(h, HOME_KEYWORDS);
             // Two real-world shapes: kw1-2-3-4 and kw-1-2-3-4.
-            if mix64(h) % 2 == 0 {
+            if mix64(h).is_multiple_of(2) {
                 format!("{kw}{}-{}-{}-{}", o[0], o[1], o[2], o[3])
             } else {
                 format!("{kw}-{}-{}-{}-{}", o[0], o[1], o[2], o[3])

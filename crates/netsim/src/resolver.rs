@@ -341,7 +341,7 @@ mod tests {
             if r.check_referral(ReferralLevel::National, 9, t, 100, 1.0e-6) == ReferralCheck::Cold {
                 break;
             }
-            t = t + SimDuration(1000);
+            t += SimDuration(1000);
         }
         let mut cold = 0;
         let mut total = 0;
@@ -387,7 +387,7 @@ mod tests {
             if r.check_referral(ReferralLevel::Root, 1, t, 10_000, 0.01) == ReferralCheck::Cold {
                 break;
             }
-            t = t + SimDuration(100);
+            t += SimDuration(100);
         }
         // Other zones are fresh: their first-touch outcome is
         // independent (for an idle resolver, almost surely cold).

@@ -13,8 +13,8 @@
 //! * [`par_chunks`] — the same over fixed-size chunks, for fine-grained
 //!   items where per-element task overhead would dominate;
 //! * [`join`] — run two independent closures concurrently;
-//! * [`scope`] — escape hatch: a re-export of [`std::thread::scope`]
-//!   for irregular task shapes;
+//! * [`scope`] — escape hatch: [`std::thread::scope`] semantics for
+//!   irregular task shapes, with trace-context propagation;
 //! * [`derive_seed`] — the splitmix64 seed-derivation scheme that makes
 //!   parallel runs bit-identical to sequential ones.
 //!
@@ -57,6 +57,17 @@
 //! (counter: tasks executed), `par.steals` (counter: successful
 //! steals), `par.threads` (gauge: resolved pool size), and `par.run`
 //! (histogram: nanoseconds per parallel region).
+//!
+//! # Trace-context propagation
+//!
+//! When `bs-trace` causal tracing is enabled, every primitive captures
+//! the caller's [`bs_trace::TraceContext`] before spawning workers and
+//! enters it on each worker thread, so spans opened inside worker
+//! tasks parent under the span that started the parallel region — at
+//! any thread count. Workers also name their flight-recorder lanes
+//! (`par-worker-N`), which become thread labels in the Chrome trace
+//! export. Disabled, all of this costs one relaxed atomic load per
+//! spawned worker.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,7 +75,7 @@
 mod pool;
 mod seed;
 
-pub use pool::{join, par_chunks, par_map, par_map_range, scope, set_threads, threads};
+pub use pool::{join, par_chunks, par_map, par_map_range, scope, set_threads, threads, Scope};
 pub use seed::derive_seed;
 
 #[cfg(test)]
@@ -190,6 +201,121 @@ mod tests {
         assert_eq!(seen.len(), 10_000, "derived seeds must not collide trivially");
         // Different masters diverge on the same index.
         assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    /// span_id → (name, parent_id) for every SpanStart in `evs`.
+    fn span_index(evs: &[bs_trace::Event]) -> std::collections::BTreeMap<u64, (&'static str, u64)> {
+        evs.iter()
+            .filter_map(|e| match e.kind {
+                bs_trace::EventKind::SpanStart { name } => Some((e.span_id, (name, e.parent_id))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether `ancestor` appears on the parent chain starting at `id`.
+    fn has_ancestor(
+        index: &std::collections::BTreeMap<u64, (&'static str, u64)>,
+        mut id: u64,
+        ancestor: u64,
+    ) -> bool {
+        for _ in 0..64 {
+            if id == ancestor {
+                return true;
+            }
+            id = match index.get(&id) {
+                Some((_, parent)) => *parent,
+                None => return false,
+            };
+        }
+        false
+    }
+
+    #[test]
+    fn worker_spans_parent_under_the_spawning_stage() {
+        let (root_ctx, root_lane, evs) = with_override(4, || {
+            bs_trace::enable();
+            bs_trace::drain();
+            let root = bs_trace::span("par.test.stage");
+            let root_ctx = root.context().expect("root context");
+            par_map_range(16, |i| {
+                let _s = bs_trace::span("par.test.task");
+                i
+            });
+            drop(root);
+            let evs = bs_trace::drain();
+            bs_trace::disable();
+            let root_start = evs
+                .iter()
+                .find(|e| {
+                    matches!(e.kind, bs_trace::EventKind::SpanStart { name } if name == "par.test.stage")
+                })
+                .expect("root span recorded");
+            (root_ctx, root_start.lane, evs)
+        });
+        let index = span_index(&evs);
+        let tasks: Vec<&bs_trace::Event> = evs
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, bs_trace::EventKind::SpanStart { name } if name == "par.test.task")
+            })
+            .collect();
+        assert_eq!(tasks.len(), 16, "every task recorded its span");
+        for t in &tasks {
+            assert_eq!(t.trace_id, root_ctx.trace_id, "one causal tree");
+            let (parent_name, _) = index[&t.parent_id];
+            assert_eq!(parent_name, "par.run", "tasks nest under the parallel region span");
+            assert!(
+                has_ancestor(&index, t.parent_id, root_ctx.span_id),
+                "worker span chain reaches the spawning stage"
+            );
+            assert_ne!(t.lane, root_lane, "tasks ran on worker threads, not the caller's");
+        }
+        let names = bs_trace::lane_names();
+        assert!(
+            names.iter().any(|(_, n)| n.starts_with("par-worker-")),
+            "workers name their lanes, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn join_and_scope_propagate_context() {
+        let evs = with_override(2, || {
+            bs_trace::enable();
+            bs_trace::drain();
+            {
+                let _root = bs_trace::span("par.test.jsroot");
+                join(
+                    || {
+                        let _a = bs_trace::span("par.test.join.a");
+                    },
+                    || {
+                        let _b = bs_trace::span("par.test.join.b");
+                    },
+                );
+                scope(|s| {
+                    s.spawn(|| {
+                        let _c = bs_trace::span("par.test.scope.child");
+                    });
+                });
+            }
+            let evs = bs_trace::drain();
+            bs_trace::disable();
+            evs
+        });
+        let index = span_index(&evs);
+        let root_id = *index
+            .iter()
+            .find(|(_, (name, _))| *name == "par.test.jsroot")
+            .map(|(id, _)| id)
+            .expect("root recorded");
+        for child in ["par.test.join.a", "par.test.join.b", "par.test.scope.child"] {
+            let (&id, _) = index
+                .iter()
+                .find(|(_, (name, _))| *name == child)
+                .unwrap_or_else(|| panic!("{child} recorded"));
+            assert!(has_ancestor(&index, id, root_id), "{child} parents under the root");
+        }
     }
 
     #[test]

@@ -57,14 +57,43 @@ fn in_worker() -> bool {
     IN_WORKER.with(|f| f.get())
 }
 
-/// A re-export of [`std::thread::scope`] for irregular task shapes the
-/// structured primitives don't fit. Spawned threads are *not* counted
-/// against the pool size; prefer [`par_map`] / [`join`] where possible.
+/// Like [`std::thread::scope`], for irregular task shapes the
+/// structured primitives don't fit, with one addition: the caller's
+/// `bs-trace` context is captured at entry and every [`Scope::spawn`]ed
+/// thread runs inside it, so spans opened in spawned closures parent
+/// under the span that was current when the scope began. Spawned
+/// threads are *not* counted against the pool size; prefer [`par_map`]
+/// / [`join`] where possible.
 pub fn scope<'env, F, R>(f: F) -> R
 where
-    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(f)
+    let ctx = bs_trace::current_context();
+    std::thread::scope(|inner| f(&Scope { inner, ctx }))
+}
+
+/// The handle passed to [`scope`]'s closure; a thin wrapper over
+/// [`std::thread::Scope`] whose [`spawn`](Scope::spawn) enters the
+/// scope-entry trace context on the new thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<bs_trace::TraceContext>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread running `f` under the trace context that
+    /// was current when the enclosing [`scope`] was entered.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let ctx = self.ctx;
+        self.inner.spawn(move || {
+            let _ctx = bs_trace::enter_context(ctx);
+            f()
+        })
+    }
 }
 
 /// Map `f` over `items` in parallel; `f` receives `(index, &item)` and
@@ -123,8 +152,12 @@ where
     if threads() <= 1 || in_worker() {
         return (a(), b());
     }
+    let ctx = bs_trace::current_context();
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(move || {
+            let _ctx = bs_trace::enter_context(ctx);
+            b()
+        });
         let ra = a();
         (ra, hb.join().expect("join: spawned side panicked"))
     })
@@ -143,7 +176,11 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    // The telemetry span also opens a trace span on this thread, so
+    // capturing the context *after* it means worker child spans parent
+    // under `par.run` → enclosing stage → root.
     let _span = bs_telemetry::span("par.run");
+    let ctx = bs_trace::current_context();
     bs_telemetry::gauge_set("par.threads", t as i64);
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..t)
         .map(|w| {
@@ -161,6 +198,10 @@ where
             .map(|w| {
                 s.spawn(move || {
                     IN_WORKER.with(|flag| flag.set(true));
+                    let _ctx = bs_trace::enter_context(ctx);
+                    if bs_trace::is_enabled() {
+                        bs_trace::name_lane(&format!("par-worker-{w}"));
+                    }
                     let mut done = Vec::with_capacity(n / t + 1);
                     while let Some(i) = next_task(queues, w, steals) {
                         done.push((i, f(i)));

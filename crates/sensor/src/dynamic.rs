@@ -192,7 +192,7 @@ mod tests {
             Some(AsId(addr.octets()[1] as u32))
         }
         fn querier_country(&self, addr: Ipv4Addr) -> Option<CountryCode> {
-            Some(if addr.octets()[0] % 2 == 0 {
+            Some(if addr.octets()[0].is_multiple_of(2) {
                 CountryCode::new("us").unwrap()
             } else {
                 CountryCode::new("jp").unwrap()

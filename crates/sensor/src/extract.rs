@@ -99,6 +99,26 @@ pub fn extract_from_observations(
     let total_ases = obs.total_ases(info);
     let total_countries = obs.total_countries(info);
     let selected = select_analyzable(obs, config.min_queriers, config.top_n);
+    if bs_trace::is_enabled() {
+        // Conservation over the analyzability cut: every observed
+        // originator is selected, below threshold, or ranked out.
+        let total = obs.per_originator.len() as u64;
+        let passing = obs
+            .per_originator
+            .values()
+            .filter(|o| o.querier_count() >= config.min_queriers)
+            .count() as u64;
+        let kept = selected.len() as u64;
+        bs_trace::ledger::record(
+            "sensor.select",
+            total,
+            &[
+                ("selected", kept),
+                ("below_threshold", total - passing),
+                ("truncated", passing - kept),
+            ],
+        );
+    }
     let out: Vec<OriginatorFeatures> = bs_par::par_map(&selected, |_, &o| {
         let mut static_counts = [0usize; 14];
         for q in &o.queriers {
@@ -140,7 +160,7 @@ mod tests {
     impl QuerierInfo for ToyInfo {
         fn querier_name(&self, addr: Ipv4Addr) -> NameOutcome {
             // Even last octet: mail server; odd: no reverse name.
-            if addr.octets()[3] % 2 == 0 {
+            if addr.octets()[3].is_multiple_of(2) {
                 NameOutcome::Name(bs_dns::DomainName::parse("mail.example.com").unwrap())
             } else {
                 NameOutcome::NxDomain

@@ -78,10 +78,17 @@ impl Observations {
         let mut all_queriers = BTreeSet::new();
         // Last accepted time per (originator, querier).
         let mut last_seen: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime> = BTreeMap::new();
+        let mut seen: u64 = 0;
         let mut accepted: u64 = 0;
         let mut suppressed: u64 = 0;
+        let mut out_of_window: u64 = 0;
         for r in log.records() {
+            // `seen` counts every record independently of the outcome
+            // branches below, so the conservation ledger catches any
+            // path that silently discards one.
+            seen += 1;
             if r.time < start || r.time >= end {
+                out_of_window += 1;
                 continue;
             }
             let key = (r.originator, r.querier);
@@ -108,6 +115,11 @@ impl Observations {
         }
         bs_telemetry::counter_add("sensor.records", accepted);
         bs_telemetry::counter_add("sensor.dedup_suppressed", suppressed);
+        bs_trace::ledger::record(
+            "sensor.ingest",
+            seen,
+            &[("kept", accepted), ("deduped", suppressed), ("out_of_window", out_of_window)],
+        );
         Observations { window_start: start, window_end: end, per_originator, all_queriers }
     }
 
@@ -139,11 +151,11 @@ impl Observations {
 /// Keep analyzable originators (≥ `min_queriers` unique queriers),
 /// ranked by unique-querier count descending, truncated to `top_n` if
 /// given. This is the paper's §III-B selection.
-pub fn select_analyzable<'a>(
-    obs: &'a Observations,
+pub fn select_analyzable(
+    obs: &Observations,
     min_queriers: usize,
     top_n: Option<usize>,
-) -> Vec<&'a OriginatorObservation> {
+) -> Vec<&OriginatorObservation> {
     let mut v: Vec<&OriginatorObservation> =
         obs.per_originator.values().filter(|o| o.querier_count() >= min_queriers).collect();
     v.sort_by(|a, b| {

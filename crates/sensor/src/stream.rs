@@ -81,6 +81,10 @@ pub struct StreamingSensor {
     tally_records: u64,
     tally_deduped: u64,
     tally_admitted: u64,
+    // Conservation-ledger tallies: records held back by the admission
+    // filter, and stored queries lost to evicted originators.
+    tally_probation: u64,
+    tally_evicted_queries: u64,
 }
 
 impl StreamingSensor {
@@ -100,6 +104,8 @@ impl StreamingSensor {
             tally_records: 0,
             tally_deduped: 0,
             tally_admitted: 0,
+            tally_probation: 0,
+            tally_evicted_queries: 0,
         }
     }
 
@@ -149,16 +155,33 @@ impl StreamingSensor {
         self.probation.clear();
         self.last_seen.clear();
         let evicted = std::mem::take(&mut self.evicted);
-        bs_telemetry::counter_add("sensor.stream.records", std::mem::take(&mut self.tally_records));
-        bs_telemetry::counter_add(
-            "sensor.stream.dedup_suppressed",
-            std::mem::take(&mut self.tally_deduped),
-        );
-        bs_telemetry::counter_add(
-            "sensor.stream.admissions",
-            std::mem::take(&mut self.tally_admitted),
-        );
+        let records = std::mem::take(&mut self.tally_records);
+        let deduped = std::mem::take(&mut self.tally_deduped);
+        let admitted = std::mem::take(&mut self.tally_admitted);
+        let probation = std::mem::take(&mut self.tally_probation);
+        let evicted_queries = std::mem::take(&mut self.tally_evicted_queries);
+        bs_telemetry::counter_add("sensor.stream.records", records);
+        bs_telemetry::counter_add("sensor.stream.dedup_suppressed", deduped);
+        bs_telemetry::counter_add("sensor.stream.admissions", admitted);
         bs_telemetry::counter_add("sensor.stream.evictions", evicted as u64);
+        if bs_trace::is_enabled() {
+            // Window conservation: every record this window was stored
+            // (and survives in the emitted observations), deduped, held
+            // in probation, or stored-then-lost to an eviction.
+            let kept: u64 =
+                observations.per_originator.values().map(|o| o.queries.len() as u64).sum();
+            let _w = bs_trace::ledger::window_scope(observations.window_start.secs());
+            bs_trace::ledger::record(
+                "sensor.stream",
+                records,
+                &[
+                    ("kept", kept),
+                    ("deduped", deduped),
+                    ("probation_held", probation),
+                    ("evicted_queries", evicted_queries),
+                ],
+            );
+        }
         bs_telemetry::gauge_set("sensor.window_evicted", evicted as i64);
         bs_telemetry::gauge_set(
             "sensor.tracked_originators",
@@ -197,6 +220,7 @@ impl StreamingSensor {
                     let hits = self.probation.entry(r.originator).or_insert(0);
                     *hits += 1;
                     if *hits < self.config.admission_queries {
+                        self.tally_probation += 1;
                         return;
                     }
                     // Evict the smallest tracked originator.
@@ -206,7 +230,9 @@ impl StreamingSensor {
                         .min_by_key(|(ip, o)| (o.querier_count(), **ip))
                         .map(|(ip, _)| *ip)
                     {
-                        self.per_originator.remove(&victim);
+                        if let Some(gone) = self.per_originator.remove(&victim) {
+                            self.tally_evicted_queries += gone.queries.len() as u64;
+                        }
                         self.evicted += 1;
                     }
                     self.probation.remove(&r.originator);

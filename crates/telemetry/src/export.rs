@@ -3,8 +3,8 @@
 use crate::registry::Snapshot;
 use std::fmt::Write;
 
-/// Escape a string for a JSON document.
-fn json_escape(s: &str) -> String {
+/// Escape a string for a JSON document (shared with the JSON logger).
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -168,6 +168,87 @@ mod tests {
         s.counters.insert("weird\"name\\with\nstuff".into(), 1);
         let j = s.to_json();
         assert!(j.contains("weird\\\"name\\\\with\\nstuff"));
+    }
+
+    #[test]
+    fn json_snapshot_parses_with_real_parser() {
+        // Structural checks above are heuristic; this is the real test:
+        // a snapshot full of hostile names must survive a JSON parser.
+        let mut s = sample();
+        s.counters.insert("quote\"back\\slash".into(), 1);
+        s.counters.insert("newline\nand\ttab".into(), 2);
+        s.counters.insert("ctrl\u{1}char".into(), 3);
+        s.gauges.insert("gauge\"quoted\"".into(), -9);
+        s.histograms.insert(
+            "hist\\path".into(),
+            HistogramSnapshot { count: 0, sum: 0, max: 0, p50: 0, p90: 0, p99: 0 },
+        );
+        let v = bs_trace::json::parse(&s.to_json()).expect("snapshot_json must be valid JSON");
+        let counters = v.get("counters").expect("counters object");
+        assert_eq!(counters.get("quote\"back\\slash").and_then(|c| c.as_f64()), Some(1.0));
+        assert_eq!(counters.get("newline\nand\ttab").and_then(|c| c.as_f64()), Some(2.0));
+        assert_eq!(counters.get("ctrl\u{1}char").and_then(|c| c.as_f64()), Some(3.0));
+        assert_eq!(
+            v.get("gauges").and_then(|g| g.get("gauge\"quoted\"")).and_then(|g| g.as_f64()),
+            Some(-9.0)
+        );
+        let h = v.get("histograms").and_then(|h| h.get("hist\\path")).expect("histogram");
+        assert_eq!(h.get("count").and_then(|c| c.as_f64()), Some(0.0));
+    }
+
+    #[test]
+    fn empty_json_snapshot_parses_too() {
+        bs_trace::json::parse(&Snapshot::default().to_json()).expect("empty snapshot is valid");
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prom_name("core.retrain"), "bs_core_retrain");
+        assert_eq!(prom_name("a.b-c/d e"), "bs_a_b_c_d_e");
+        assert_eq!(prom_name("Já7"), "bs_J_7");
+        assert_eq!(prom_name(""), "bs_");
+    }
+
+    #[test]
+    fn prometheus_text_format_conformance() {
+        let mut s = sample();
+        s.counters.insert("weird name/with.bits".into(), 5);
+        let p = s.to_prometheus();
+        let mut typed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for line in p.lines() {
+            assert!(!line.is_empty(), "no blank lines in exposition output");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE line has a name");
+                let kind = parts.next().expect("TYPE line has a kind");
+                assert!(matches!(kind, "counter" | "gauge" | "summary"), "kind {kind}");
+                assert!(typed.insert(name), "TYPE declared once per metric: {name}");
+                continue;
+            }
+            // Sample line: `name value` or `name{quantile="q"} value`.
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let base = name_part.split('{').next().unwrap();
+            assert!(
+                base.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "metric name {base:?} must be [a-zA-Z0-9_]"
+            );
+            assert!(value.parse::<f64>().is_ok(), "value {value:?} must be numeric");
+            let owner = base
+                .strip_suffix("_sum")
+                .filter(|b| typed.contains(b))
+                .or_else(|| base.strip_suffix("_count").filter(|b| typed.contains(b)))
+                .unwrap_or(base);
+            assert!(typed.contains(owner), "sample {base} precedes its TYPE line");
+            if let Some(labels) = name_part.strip_prefix(base) {
+                if !labels.is_empty() {
+                    assert!(labels.starts_with("{quantile=\"") && labels.ends_with("\"}"));
+                }
+            }
+        }
+        // Summaries carry the full complement of lines.
+        assert!(p.contains("bs_core_retrain_sum 900"));
+        assert!(p.contains("bs_core_retrain_count 2"));
+        assert!(p.contains("bs_core_retrain{quantile=\"0.5\"} 447"));
     }
 
     #[test]

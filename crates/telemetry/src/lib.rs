@@ -16,6 +16,13 @@
 //! * exporters: a JSON snapshot ([`snapshot_json`]) and a Prometheus
 //!   text-format dump ([`snapshot_prometheus`]).
 //!
+//! One instrumentation API, two sinks: when causal tracing is enabled
+//! (`bs_trace::enable`), every [`span`] also opens a hierarchical
+//! trace span, [`counter_add`] forwards samples to the flight
+//! recorder, and warn-or-worse log records become trace events — so
+//! the same call sites feed both aggregate metrics and the per-window
+//! causal trace.
+//!
 //! # Cost model
 //!
 //! Telemetry is compiled in everywhere but **near-free when no sink is
@@ -50,7 +57,7 @@ mod metrics;
 mod registry;
 mod span;
 
-pub use logger::{log_emit, log_enabled, set_max_log_level, Level};
+pub use logger::{log_emit, log_enabled, set_log_format, set_max_log_level, Level, LogFormat};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Registry, Snapshot};
 pub use span::Span;
@@ -75,16 +82,24 @@ pub fn is_enabled() -> bool {
     registry().is_enabled()
 }
 
-/// Clear every metric in the global registry (the enabled flag and log
-/// level are untouched). Used between CLI runs and in tests.
+/// Zero every metric in the global registry in place (the enabled flag
+/// and log level are untouched). Names stay registered, so metric
+/// handles cached before the reset keep recording into instances the
+/// next snapshot still sees. Used between CLI runs and in tests.
 pub fn reset() {
     registry().reset();
 }
 
-/// Add to a named counter. No-op while disabled.
+/// Add to a named counter. Also forwards the sample to the `bs-trace`
+/// flight recorder (attributed to the current trace span) when tracing
+/// is enabled. No-op while both sinks are disabled.
 pub fn counter_add(name: &str, n: u64) {
+    if n == 0 {
+        return;
+    }
+    bs_trace::record_counter(name, n);
     let r = registry();
-    if r.is_enabled() && n > 0 {
+    if r.is_enabled() {
         r.counter(name).add(n);
     }
 }

@@ -5,8 +5,16 @@
 //! The maximum level comes from the `BS_LOG` environment variable
 //! (`off`, `error`, `warn`, `info`, `debug`; default `info`), read once
 //! on first use; [`set_max_log_level`] overrides it programmatically.
-//! Lines go to stderr as `[LEVEL target] message key=value …`.
+//! Lines go to stderr as `[LEVEL target] message key=value …`, or —
+//! with `BS_LOG_FORMAT=json` (or [`set_log_format`]) — as one JSON
+//! object per line (`ts_ms`, `level`, `target`, `message`, `kvs`) so
+//! logs are machine-ingestable alongside the trace export.
+//!
+//! Warn-or-worse records are additionally forwarded to the `bs-trace`
+//! flight recorder (when tracing is enabled), attributed to the
+//! current trace span.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Log severities, most severe first.
@@ -79,17 +87,108 @@ pub fn log_enabled(level: Level) -> bool {
     level as u8 <= max
 }
 
+/// Log output encodings (see [`set_log_format`] / `BS_LOG_FORMAT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LogFormat {
+    /// `[LEVEL target] message key=value …` (the default).
+    Text = 0,
+    /// One JSON object per line:
+    /// `{"ts_ms":…,"level":"…","target":"…","message":"…","kvs":{…}}`.
+    Json = 1,
+}
+
+const FORMAT_UNSET: u8 = u8::MAX;
+
+static FORMAT: AtomicU8 = AtomicU8::new(FORMAT_UNSET);
+
+fn format_from_env() -> u8 {
+    let parsed = match std::env::var("BS_LOG_FORMAT") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("json") => LogFormat::Json as u8,
+        _ => LogFormat::Text as u8,
+    };
+    FORMAT.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Override the output encoding. Takes precedence over
+/// `BS_LOG_FORMAT` from the moment it is called.
+pub fn set_log_format(format: LogFormat) {
+    FORMAT.store(format as u8, Ordering::Relaxed);
+}
+
+fn current_format() -> LogFormat {
+    let mut f = FORMAT.load(Ordering::Relaxed);
+    if f == FORMAT_UNSET {
+        f = format_from_env();
+    }
+    if f == LogFormat::Json as u8 {
+        LogFormat::Json
+    } else {
+        LogFormat::Text
+    }
+}
+
+/// Render one record in the given format (separated from the emission
+/// path so both encodings are unit-testable).
+fn render(
+    format: LogFormat,
+    ts_ms: u128,
+    level: Level,
+    target: &str,
+    message: &str,
+    kvs: &[(&str, String)],
+) -> String {
+    match format {
+        LogFormat::Text => {
+            let mut line = format!("[{} {}] {}", level.as_str(), target, message);
+            for (k, v) in kvs {
+                line.push(' ');
+                line.push_str(k);
+                line.push('=');
+                line.push_str(v);
+            }
+            line
+        }
+        LogFormat::Json => {
+            let mut line = format!(
+                "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"target\":\"{}\",\"message\":\"{}\",\"kvs\":{{",
+                level.as_str(),
+                crate::export::json_escape(target),
+                crate::export::json_escape(message)
+            );
+            for (i, (k, v)) in kvs.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(
+                    line,
+                    "\"{}\":\"{}\"",
+                    crate::export::json_escape(k),
+                    crate::export::json_escape(v)
+                );
+            }
+            line.push_str("}}");
+            line
+        }
+    }
+}
+
 /// Emit one structured line. Callers go through the level macros, which
 /// check [`log_enabled`] first.
 pub fn log_emit(level: Level, target: &str, message: &str, kvs: &[(&str, String)]) {
-    let mut line = format!("[{} {}] {}", level.as_str(), target, message);
-    for (k, v) in kvs {
-        line.push(' ');
-        line.push_str(k);
-        line.push('=');
-        line.push_str(v);
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    eprintln!("{}", render(current_format(), ts_ms, level, target, message, kvs));
+    if level <= Level::Warn && bs_trace::is_enabled() {
+        // The flight recorder keeps warn-or-worse records with their
+        // key=value pairs rendered into the message.
+        let traced = render(LogFormat::Text, ts_ms, level, target, message, kvs);
+        let stripped = traced.split_once("] ").map(|(_, m)| m).unwrap_or(&traced);
+        bs_trace::record_log(level.as_str(), target, stripped);
     }
-    eprintln!("{line}");
     crate::counter_add(level.counter_name(), 1);
 }
 
@@ -168,6 +267,53 @@ mod tests {
         assert!(!log_enabled(Level::Error));
         // Restore the default for other tests in this process.
         set_max_log_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn text_render_is_bracketed_with_kvs() {
+        let line = render(
+            LogFormat::Text,
+            123,
+            Level::Warn,
+            "sensor",
+            "window evicted",
+            &[("records", "42".to_string()), ("window", "w3".to_string())],
+        );
+        assert_eq!(line, "[WARN sensor] window evicted records=42 window=w3");
+    }
+
+    #[test]
+    fn json_render_is_one_parseable_object_per_line() {
+        let line = render(
+            LogFormat::Json,
+            1700000000123,
+            Level::Error,
+            "core.pipeline",
+            "bad \"input\"\nline",
+            &[("path", "a\\b".to_string())],
+        );
+        assert!(!line.contains('\n'), "one object per line — escapes keep it single-line");
+        let v = bs_trace::json::parse(&line).expect("json log line parses");
+        assert_eq!(v.get("ts_ms").and_then(|t| t.as_f64()), Some(1700000000123.0));
+        assert_eq!(v.get("level").and_then(|l| l.as_str()), Some("ERROR"));
+        assert_eq!(v.get("target").and_then(|t| t.as_str()), Some("core.pipeline"));
+        assert_eq!(v.get("message").and_then(|m| m.as_str()), Some("bad \"input\"\nline"));
+        assert_eq!(v.get("kvs").and_then(|k| k.get("path")).and_then(|p| p.as_str()), Some("a\\b"));
+    }
+
+    #[test]
+    fn json_render_empty_kvs_is_valid() {
+        let line = render(LogFormat::Json, 0, Level::Info, "t", "m", &[]);
+        let v = bs_trace::json::parse(&line).expect("parses");
+        assert_eq!(v.get("kvs").and_then(|k| k.as_object()).map(<[_]>::len), Some(0));
+    }
+
+    #[test]
+    fn set_log_format_overrides_env() {
+        set_log_format(LogFormat::Json);
+        assert_eq!(current_format(), LogFormat::Json);
+        set_log_format(LogFormat::Text);
+        assert_eq!(current_format(), LogFormat::Text);
     }
 
     #[test]

@@ -29,6 +29,12 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Zero the counter in place. Handles already held keep recording
+    /// into this same instance (see `Registry::reset`).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
 }
 
 /// A last-value-wins signed gauge.
@@ -56,6 +62,12 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge in place. Handles already held keep recording
+    /// into this same instance (see `Registry::reset`).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
     }
 }
 
@@ -167,6 +179,20 @@ impl Histogram {
             }
         }
         self.max()
+    }
+
+    /// Zero the histogram in place. Not atomic with respect to
+    /// concurrent `record` calls (a racing record may partially
+    /// survive), which is fine for its use between runs. Handles
+    /// already held keep recording into this same instance (see
+    /// `Registry::reset`).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time summary (count, sum, max, p50/p90/p99).

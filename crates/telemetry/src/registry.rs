@@ -52,11 +52,23 @@ impl Registry {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Drop every metric (the enabled flag is untouched).
+    /// Zero every metric **in place** (the enabled flag is untouched).
+    /// Names stay registered and existing `Arc` handles stay connected:
+    /// a caller that cached `registry.counter("x")` before the reset
+    /// keeps recording into the same instance the next snapshot reads.
+    /// (Dropping the map entries instead would silently detach cached
+    /// handles — they would keep counting into an orphan the snapshot
+    /// never sees again.)
     pub fn reset(&self) {
-        self.counters.write().expect("registry lock").clear();
-        self.gauges.write().expect("registry lock").clear();
-        self.histograms.write().expect("registry lock").clear();
+        for c in self.counters.read().expect("registry lock").values() {
+            c.reset();
+        }
+        for g in self.gauges.read().expect("registry lock").values() {
+            g.reset();
+        }
+        for h in self.histograms.read().expect("registry lock").values() {
+            h.reset();
+        }
     }
 
     /// The counter registered under `name`, created on first use.
@@ -138,7 +150,7 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_all_kinds() {
+    fn reset_zeroes_all_kinds_in_place() {
         let r = Registry::new();
         r.counter("c").inc();
         r.gauge("g").set(5);
@@ -146,10 +158,39 @@ mod tests {
         r.enable();
         r.reset();
         let snap = r.snapshot();
-        assert!(snap.counters.is_empty());
-        assert!(snap.gauges.is_empty());
-        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.counters["c"], 0, "names survive reset with zeroed values");
+        assert_eq!(snap.gauges["g"], 0);
+        assert_eq!(snap.histograms["h"].count, 0);
+        assert_eq!(snap.histograms["h"].sum, 0);
+        assert_eq!(snap.histograms["h"].max, 0);
         assert!(r.is_enabled(), "reset keeps the enabled flag");
+    }
+
+    #[test]
+    fn cached_handles_survive_reset() {
+        // Regression: reset used to drop the map entries, so a handle
+        // cached before the reset kept recording into an orphaned
+        // metric that no later snapshot could see.
+        let r = Registry::new();
+        let c = r.counter("cached.counter");
+        let g = r.gauge("cached.gauge");
+        let h = r.histogram("cached.hist");
+        c.add(7);
+        g.set(7);
+        h.record(7);
+        r.reset();
+        c.add(3);
+        g.add(3);
+        h.record(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["cached.counter"], 3, "post-reset adds are visible");
+        assert_eq!(snap.gauges["cached.gauge"], 3);
+        assert_eq!(snap.histograms["cached.hist"].count, 1);
+        assert_eq!(snap.histograms["cached.hist"].sum, 3);
+        assert!(
+            Arc::ptr_eq(&c, &r.counter("cached.counter")),
+            "the registry still hands out the same instance"
+        );
     }
 
     #[test]

@@ -5,24 +5,38 @@ use std::time::Instant;
 /// A stage timer: created by [`crate::span`], records elapsed
 /// nanoseconds into the histogram named after the stage when dropped.
 ///
-/// While the registry is disabled at creation the guard is inert — it
-/// never reads the clock — so wrapping a stage costs one atomic load.
+/// One instrumentation point feeds two sinks: the metrics histogram
+/// (this crate) and, when `bs-trace` is enabled, a hierarchical trace
+/// span that nests under the caller's current span — so the same
+/// `span("core.retrain")` call yields both an aggregate latency
+/// distribution and a causally-parented event in the flight recorder.
+///
+/// While both registries are disabled at creation the guard is inert —
+/// it never reads the clock — so wrapping a stage costs two relaxed
+/// atomic loads (one per sink).
 #[derive(Debug)]
 #[must_use = "a span records on drop; binding it to `_` drops immediately"]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    trace: bs_trace::SpanGuard,
 }
 
 impl Span {
     pub(crate) fn start(name: &'static str) -> Self {
         let start = if crate::is_enabled() { Some(Instant::now()) } else { None };
-        Span { name, start }
+        Span { name, start, trace: bs_trace::span(name) }
     }
 
     /// The stage name this span records under.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The trace context of this span, for manual cross-thread
+    /// propagation (`None` when tracing was disabled at creation).
+    pub fn trace_context(&self) -> Option<bs_trace::TraceContext> {
+        self.trace.context()
     }
 
     /// End the span now (equivalent to dropping it).
@@ -35,6 +49,8 @@ impl Drop for Span {
             let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             crate::registry().histogram(self.name).record(nanos);
         }
+        // `self.trace` drops after this body runs, ending the trace
+        // span and restoring the caller's context.
     }
 }
 
@@ -57,7 +73,12 @@ mod tests {
 
     #[test]
     fn disabled_span_is_inert() {
-        let s = Span { name: "span.test.inert", start: None };
+        // bs-trace stays disabled for this whole test binary, and the
+        // metrics half is modeled with an explicit `start: None` so the
+        // test is immune to other tests enabling the global registry.
+        let s = Span { name: "span.test.inert", start: None, trace: bs_trace::span("x") };
+        assert!(s.trace.is_inert(), "tracing is off in this process");
+        assert!(s.trace_context().is_none());
         drop(s);
         crate::enable();
         assert_eq!(crate::registry().histogram("span.test.inert").count(), 0);

@@ -1,0 +1,151 @@
+//! Span identity and the thread-local current-span context.
+//!
+//! Every span gets a fresh `span_id` from one process-global counter;
+//! the id of the span a thread is currently inside lives in a
+//! thread-local [`Cell`]. Nesting is a linked structure through the
+//! guards themselves: each [`SpanGuard`] remembers the context it
+//! replaced and restores it on drop, so guards must drop in LIFO order
+//! on a given thread (which scoped usage guarantees).
+//!
+//! Crossing threads is explicit: capture [`current_context`] on the
+//! spawning thread, call [`enter_context`] on the worker. `bs-par`
+//! does both automatically for every pool primitive.
+
+use crate::recorder;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Process-global id source. Starts at 1 so 0 can mean "no parent".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The span the current thread is inside, if any.
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// A position in the span tree: which trace, and which span within it.
+/// Copyable and `Send` so it can hop threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The root identity shared by every span of one causal tree.
+    pub trace_id: u64,
+    /// The span to parent new child spans under.
+    pub span_id: u64,
+}
+
+/// The current thread's span context, for handing to another thread.
+/// `None` while tracing is disabled or outside any span.
+pub fn current_context() -> Option<TraceContext> {
+    if !crate::is_enabled() {
+        return None;
+    }
+    CURRENT.with(|c| c.get())
+}
+
+/// Make `ctx` the current context of this thread until the returned
+/// guard drops (restoring whatever was current before). Pool workers
+/// call this with the context captured on the spawning thread so their
+/// spans attach to the right parent. Inert while tracing is disabled.
+pub fn enter_context(ctx: Option<TraceContext>) -> ContextGuard {
+    if !crate::is_enabled() {
+        return ContextGuard { prev: None, entered: false };
+    }
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    ContextGuard { prev, entered: true }
+}
+
+/// Restores the previous thread context on drop (see [`enter_context`]).
+#[must_use = "dropping the guard immediately re-exits the context"]
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: Option<TraceContext>,
+    entered: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.entered {
+            CURRENT.with(|c| c.set(self.prev));
+        }
+    }
+}
+
+/// Start a hierarchical span. The span becomes the current context of
+/// this thread; it ends (and records its duration) when the guard
+/// drops. While tracing is disabled this costs one relaxed atomic load
+/// and returns an inert guard that never reads the clock.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard { name, live: None };
+    }
+    let (trace_id, parent_id) = match CURRENT.with(|c| c.get()) {
+        Some(parent) => (parent.trace_id, parent.span_id),
+        None => (next_id(), 0),
+    };
+    let span_id = next_id();
+    let prev = CURRENT.with(|c| c.replace(Some(TraceContext { trace_id, span_id })));
+    recorder::push(trace_id, span_id, parent_id, recorder::EventKind::SpanStart { name });
+    SpanGuard {
+        name,
+        live: Some(LiveSpan { trace_id, span_id, parent_id, prev, start: Instant::now() }),
+    }
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    prev: Option<TraceContext>,
+    start: Instant,
+}
+
+/// An open span; ends when dropped. Created by [`span`].
+#[must_use = "a span ends on drop; binding it to `_` ends it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// This span's context, for manual propagation. `None` when the
+    /// span was created while tracing was disabled.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.live.as_ref().map(|l| TraceContext { trace_id: l.trace_id, span_id: l.span_id })
+    }
+
+    /// Whether the guard was created while tracing was disabled (it
+    /// records nothing and never read the clock).
+    pub fn is_inert(&self) -> bool {
+        self.live.is_none()
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            CURRENT.with(|c| c.set(live.prev));
+            let dur_us = u64::try_from(live.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            recorder::push(
+                live.trace_id,
+                live.span_id,
+                live.parent_id,
+                recorder::EventKind::SpanEnd { name: self.name, dur_us },
+            );
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The drop-accounting ledger: per-(stage, window) conservation
+//! counters.
+//!
+//! Every pipeline stage that consumes records calls [`record`] once
+//! per invocation with the number of records it *saw* and a breakdown
+//! of where every one of them *went* (`kept`, `deduped`,
+//! `below_threshold`, `evicted`, …). The invariant each stage must
+//! uphold is
+//!
+//! ```text
+//! records_in == sum(outcome buckets)
+//! ```
+//!
+//! and [`verify`] reports every `(stage, window)` cell where it does
+//! not hold. Crucially, `records_in` is tallied *independently* of the
+//! buckets (a `seen` counter incremented before any branching), so a
+//! code path that silently discards a record shows up as a positive
+//! imbalance instead of vanishing — silent drops are exactly the
+//! failure mode the paper's sensor cannot tolerate.
+//!
+//! Each [`record`] call commits atomically under one lock acquisition,
+//! so a concurrent `verify` observes whole stage invocations only and
+//! a balanced pipeline reports zero imbalance at any instant.
+//!
+//! The window a flow belongs to comes from a thread-local set by
+//! [`window_scope`]; stages running outside any window file under
+//! [`NO_WINDOW`].
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Window key for flows recorded outside any [`window_scope`].
+pub const NO_WINDOW: u64 = u64::MAX;
+
+thread_local! {
+    static WINDOW: Cell<u64> = const { Cell::new(NO_WINDOW) };
+}
+
+/// Accumulated flow through one `(stage, window)` cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Flow {
+    /// Records the stage saw (counted before any branching).
+    pub records_in: u64,
+    /// Where they went: outcome bucket name → count.
+    pub out: BTreeMap<String, u64>,
+}
+
+impl Flow {
+    /// Sum of all outcome buckets.
+    pub fn accounted(&self) -> u64 {
+        self.out.values().sum()
+    }
+}
+
+/// One conservation violation reported by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Imbalance {
+    /// Stage name, e.g. `"sensor.ingest"`.
+    pub stage: String,
+    /// Window key ([`NO_WINDOW`] when recorded outside any window).
+    pub window: u64,
+    /// Records the stage saw.
+    pub records_in: u64,
+    /// Records the outcome buckets account for.
+    pub accounted: u64,
+}
+
+impl Imbalance {
+    /// `records_in - accounted`: positive means records vanished,
+    /// negative means a bucket double-counted.
+    pub fn delta(&self) -> i64 {
+        self.records_in as i64 - self.accounted as i64
+    }
+}
+
+type Cells = BTreeMap<(String, u64), Flow>;
+
+fn cells() -> &'static Mutex<Cells> {
+    static CELLS: OnceLock<Mutex<Cells>> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock() -> MutexGuard<'static, Cells> {
+    cells().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Scope the current thread to window `w` until the guard drops
+/// (restoring the previous window — scopes nest). Inert while tracing
+/// is disabled.
+pub fn window_scope(w: u64) -> WindowGuard {
+    if !crate::is_enabled() {
+        return WindowGuard { prev: NO_WINDOW, entered: false };
+    }
+    let prev = WINDOW.with(|c| c.replace(w));
+    WindowGuard { prev, entered: true }
+}
+
+/// Restores the previous window on drop (see [`window_scope`]).
+#[must_use = "dropping the guard immediately exits the window scope"]
+#[derive(Debug)]
+pub struct WindowGuard {
+    prev: u64,
+    entered: bool,
+}
+
+impl Drop for WindowGuard {
+    fn drop(&mut self) {
+        if self.entered {
+            WINDOW.with(|c| c.set(self.prev));
+        }
+    }
+}
+
+/// Record one stage invocation: it saw `records_in` records and routed
+/// them to the named outcome buckets. Files under the thread's current
+/// [`window_scope`]. The whole call commits under a single lock
+/// acquisition. Near-free when disabled: one relaxed atomic load.
+pub fn record(stage: &str, records_in: u64, out: &[(&str, u64)]) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let window = WINDOW.with(|c| c.get());
+    let mut cells = lock();
+    let flow = cells.entry((stage.to_string(), window)).or_default();
+    flow.records_in += records_in;
+    for (bucket, n) in out {
+        *flow.out.entry((*bucket).to_string()).or_insert(0) += n;
+    }
+}
+
+/// Every `(stage, window)` cell where `records_in != sum(buckets)`.
+/// Empty means every record that entered every stage is accounted for.
+pub fn verify() -> Vec<Imbalance> {
+    lock()
+        .iter()
+        .filter(|(_, flow)| flow.records_in != flow.accounted())
+        .map(|((stage, window), flow)| Imbalance {
+            stage: stage.clone(),
+            window: *window,
+            records_in: flow.records_in,
+            accounted: flow.accounted(),
+        })
+        .collect()
+}
+
+/// A copy of every `(stage, window)` cell.
+pub fn snapshot() -> BTreeMap<(String, u64), Flow> {
+    lock().clone()
+}
+
+/// Clear the ledger (tests and per-run CLI resets).
+pub fn reset() {
+    lock().clear();
+}
+
+/// Human-readable table of every cell, one line per `(stage, window)`,
+/// with a trailing `IMBALANCE` marker on unbalanced lines.
+pub fn render() -> String {
+    let cells = lock();
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<24} {:>12} {:>10}  outcomes", "stage", "window", "in");
+    for ((stage, window), flow) in cells.iter() {
+        let win = if *window == NO_WINDOW { "-".to_string() } else { window.to_string() };
+        let outs: Vec<String> = flow.out.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let balance = if flow.records_in == flow.accounted() {
+            String::new()
+        } else {
+            format!("  IMBALANCE ({} vs {})", flow.records_in, flow.accounted())
+        };
+        let _ = writeln!(
+            s,
+            "{:<24} {:>12} {:>10}  {}{}",
+            stage,
+            win,
+            flow.records_in,
+            outs.join(" "),
+            balance
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn balanced_stage_verifies_clean() {
+        let _g = testutil::serial();
+        crate::enable();
+        reset();
+        record("trace.test.clean", 10, &[("kept", 7), ("deduped", 3)]);
+        record("trace.test.clean", 5, &[("kept", 5)]);
+        assert!(verify().is_empty(), "10+5 in, 7+3+5 out — balanced");
+        let snap = snapshot();
+        let flow = &snap[&("trace.test.clean".to_string(), NO_WINDOW)];
+        assert_eq!(flow.records_in, 15);
+        assert_eq!(flow.out["kept"], 12);
+        assert_eq!(flow.out["deduped"], 3);
+        reset();
+        crate::disable();
+    }
+
+    #[test]
+    fn silent_drop_surfaces_as_imbalance() {
+        let _g = testutil::serial();
+        crate::enable();
+        reset();
+        record("trace.test.leaky", 10, &[("kept", 8)]);
+        let bad = verify();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].stage, "trace.test.leaky");
+        assert_eq!(bad[0].delta(), 2, "two records vanished");
+        assert!(render().contains("IMBALANCE"));
+        reset();
+        crate::disable();
+    }
+
+    #[test]
+    fn window_scopes_nest_and_partition_cells() {
+        let _g = testutil::serial();
+        crate::enable();
+        reset();
+        {
+            let _w0 = window_scope(0);
+            record("trace.test.win", 4, &[("kept", 4)]);
+            {
+                let _w1 = window_scope(1);
+                record("trace.test.win", 6, &[("kept", 6)]);
+            }
+            record("trace.test.win", 2, &[("kept", 2)]);
+        }
+        record("trace.test.win", 1, &[("kept", 1)]);
+        let snap = snapshot();
+        assert_eq!(snap[&("trace.test.win".to_string(), 0)].records_in, 6, "outer scope restored");
+        assert_eq!(snap[&("trace.test.win".to_string(), 1)].records_in, 6);
+        assert_eq!(snap[&("trace.test.win".to_string(), NO_WINDOW)].records_in, 1);
+        assert!(verify().is_empty());
+        reset();
+        crate::disable();
+    }
+
+    #[test]
+    fn concurrent_records_never_show_transient_imbalance() {
+        let _g = testutil::serial();
+        crate::enable();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        record("trace.test.conc", 3, &[("kept", 2), ("deduped", 1)]);
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..100 {
+                    assert!(verify().is_empty(), "verify mid-flight sees whole invocations only");
+                }
+            });
+        });
+        let snap = snapshot();
+        assert_eq!(snap[&("trace.test.conc".to_string(), NO_WINDOW)].records_in, 4 * 200 * 3);
+        reset();
+        crate::disable();
+    }
+}

@@ -1,0 +1,188 @@
+//! `bs-trace` — causal tracing for the dns-backscatter pipeline.
+//!
+//! `bs-telemetry` answers *how much* and *how long*; this crate answers
+//! *which window, which stage, which worker*. After `bs-par` fanned the
+//! pipeline out across pool threads, process-wide aggregates can no
+//! longer attribute time or records to a particular window — and the
+//! paper's sensor is only trustworthy if every PTR tuple is accounted
+//! for as it flows through dedup, the analyzability cut, feature
+//! extraction, and classification. Three pieces, all with **zero
+//! external dependencies**:
+//!
+//! * **hierarchical spans** ([`span`]): every span carries a
+//!   `(trace_id, span_id, parent_id)` triple. The current span lives in
+//!   a thread-local; [`current_context`] / [`enter_context`] carry it
+//!   across threads, and `bs-par` propagates it into pool workers
+//!   automatically, so a span opened inside a worker task parents under
+//!   the stage that spawned it at any thread count;
+//! * a **flight recorder** ([`drain`], [`events`]): a fixed-capacity,
+//!   lock-striped ring buffer of recent trace events (span start/end,
+//!   counters, warn-or-worse log records), dumpable on demand or on
+//!   panic ([`install_panic_hook`]);
+//! * a **drop-accounting [`ledger`]**: per-(stage, window) conservation
+//!   counters — records in = kept + deduped + below-threshold +
+//!   evicted + … — with [`ledger::verify`] reporting any imbalance.
+//!
+//! Exporters: [`chrome_trace_json`] writes the Chrome trace-event JSON
+//! format (loadable in `chrome://tracing` / Perfetto, one lane per pool
+//! worker), [`tree_dump`] renders a human-readable span tree, and
+//! [`json`] holds a dependency-free JSON parser used to validate and
+//! inspect exported traces.
+//!
+//! # Cost model
+//!
+//! Tracing is compiled in everywhere but **near-free when disabled**:
+//! every recording entry point ([`span`], [`record_counter`],
+//! [`record_log`], [`current_context`], [`enter_context`],
+//! [`ledger::record`], [`ledger::window_scope`]) first checks a single
+//! relaxed atomic ([`is_enabled`]) and returns an inert value
+//! immediately — no clock read, no allocation, no lock, no thread-local
+//! write. The CLI's `--trace` flag (and tests) call [`enable`] first.
+//!
+//! ```
+//! bs_trace::enable();
+//! let events = {
+//!     let _root = bs_trace::span("doc.stage");
+//!     bs_trace::record_counter("doc.items", 3);
+//!     drop(_root);
+//!     bs_trace::drain()
+//! };
+//! assert!(events.len() >= 3); // start, counter, end
+//! let json = bs_trace::chrome_trace_json(&events);
+//! bs_trace::json::parse(&json).expect("valid trace JSON");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod export;
+pub mod json;
+pub mod ledger;
+mod recorder;
+
+pub use context::{current_context, enter_context, span, ContextGuard, SpanGuard, TraceContext};
+pub use export::{chrome_trace_json, tree_dump};
+pub use recorder::{
+    drain, dropped, events, install_panic_hook, lane_names, name_lane, record_counter, record_log,
+    set_capacity, Event, EventKind,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Start recording trace events and ledger flows.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop recording; entry points return immediately again.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether tracing is on (one relaxed atomic load — the only cost every
+/// entry point pays while disabled).
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The recorder, ledger, and enabled flag are process-global;
+    /// tests that touch them serialize on this lock.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn serial() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_entry_points_are_inert() {
+        let _g = testutil::serial();
+        disable();
+        drain();
+        ledger::reset();
+        {
+            let s = span("trace.test.disabled");
+            assert!(s.is_inert(), "disabled span must carry no ids");
+            assert!(current_context().is_none());
+            record_counter("trace.test.counter", 1);
+            record_log("WARN", "trace.test", "dropped");
+            ledger::record("trace.test.stage", 5, &[("kept", 5)]);
+            let _c = enter_context(Some(TraceContext { trace_id: 1, span_id: 2 }));
+            assert!(current_context().is_none(), "disabled enter_context is a no-op");
+        }
+        assert!(events().is_empty(), "nothing may be recorded while disabled");
+        assert!(ledger::snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_ids_nest_and_propagate() {
+        let _g = testutil::serial();
+        enable();
+        drain();
+        let (outer_ctx, inner_parent) = {
+            let outer = span("trace.test.outer");
+            let outer_ctx = current_context().expect("outer span is current");
+            let inner = span("trace.test.inner");
+            let inner_ctx = current_context().expect("inner span is current");
+            assert_eq!(outer_ctx.trace_id, inner_ctx.trace_id, "one trace");
+            assert_ne!(outer_ctx.span_id, inner_ctx.span_id);
+            drop(inner);
+            assert_eq!(current_context(), Some(outer_ctx), "pop restores parent");
+            drop(outer);
+            (outer_ctx, inner_ctx)
+        };
+        assert!(current_context().is_none(), "stack empty after all spans end");
+        let evs = drain();
+        let starts: Vec<&Event> =
+            evs.iter().filter(|e| matches!(e.kind, EventKind::SpanStart { .. })).collect();
+        assert_eq!(starts.len(), 2);
+        assert_eq!(starts[0].span_id, outer_ctx.span_id);
+        assert_eq!(starts[0].parent_id, 0, "root span has no parent");
+        assert_eq!(starts[1].span_id, inner_parent.span_id);
+        assert_eq!(starts[1].parent_id, outer_ctx.span_id, "inner parents under outer");
+        disable();
+    }
+
+    #[test]
+    fn context_crosses_threads_via_enter() {
+        let _g = testutil::serial();
+        enable();
+        drain();
+        let root = span("trace.test.cross");
+        let ctx = current_context();
+        let child_ids = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _e = enter_context(ctx);
+                let _child = span("trace.test.cross.child");
+                current_context().expect("child current")
+            })
+            .join()
+            .expect("worker")
+        });
+        let root_ctx = ctx.expect("root current");
+        assert_eq!(child_ids.trace_id, root_ctx.trace_id, "trace id crosses threads");
+        drop(root);
+        let evs = drain();
+        let child_start = evs
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::SpanStart { name } if name.ends_with("child")))
+            .expect("child start recorded");
+        assert_eq!(child_start.parent_id, root_ctx.span_id, "child parents under root");
+        assert_ne!(
+            child_start.lane, evs[0].lane,
+            "child ran on a different lane than the root span"
+        );
+        disable();
+    }
+}

@@ -49,7 +49,7 @@ fn main() {
     // 4. The biggest footprints — in the paper these are unsavoury, and
     //    they should be here too.
     let mut by_size = window.entries.clone();
-    by_size.sort_by(|a, b| b.queriers.cmp(&a.queriers));
+    by_size.sort_by_key(|e| std::cmp::Reverse(e.queriers));
     println!("\ntop five originators by footprint:");
     for e in by_size.iter().take(5) {
         println!("  {:15} {:>6} queriers → {}", e.originator.to_string(), e.queriers, e.class);

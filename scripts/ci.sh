@@ -14,13 +14,29 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "=== cargo clippy bs-par (the parallelism layer, separately)"
 cargo clippy -p bs-par --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-trace (the tracing layer, separately)"
+cargo clippy -p bs-trace --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
+
+echo "=== cargo test bs-trace (standalone, zero-dep)"
+cargo test -q -p bs-trace
 
 echo "=== cargo test (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q
 
 echo "=== cargo test (parallel: default thread count)"
 cargo test -q
+
+echo "=== CLI smoke: --trace writes parseable Chrome trace JSON"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+target/release/backscatter simulate --dataset JP-ditl --scale smoke \
+    --seed 5 --out "$trace_tmp/jp.tsv" --trace "$trace_tmp/trace.json"
+# `backscatter trace` parses the file with the bs-trace JSON parser
+# and fails on anything that is not a trace-event document.
+target/release/backscatter trace --file "$trace_tmp/trace.json" \
+    | grep -q "cli.simulate"
 
 echo "=== ci: all green"

@@ -51,25 +51,65 @@ fn main() -> ExitCode {
     if metrics_path.is_some() {
         dns_backscatter::telemetry::enable();
     }
-    let result = match command.as_str() {
-        "simulate" => cmd_simulate(&flags),
-        "features" => cmd_features(&flags),
-        "classify" => cmd_classify(&flags),
-        "train" => cmd_train(&flags),
-        "report" => cmd_report(&flags),
-        "capture" => cmd_capture(&flags),
-        "stats" => cmd_stats(&flags),
-        "help" | "--help" | "-h" => {
-            usage();
-            Ok(())
+    // --trace <path> works on every subcommand: start the flight
+    // recorder up front, write Chrome trace JSON on success. The panic
+    // hook dumps the span tree to stderr if the run dies instead.
+    let trace_path = flags.get("trace").cloned();
+    if trace_path.is_some() {
+        dns_backscatter::trace::enable();
+        dns_backscatter::trace::install_panic_hook();
+    }
+    let result = {
+        // Root of the causal span tree (inert without --trace); must
+        // drop before the export drains the recorder.
+        let _root = dns_backscatter::trace::span(root_span_name(command));
+        match command.as_str() {
+            "simulate" => cmd_simulate(&flags),
+            "features" => cmd_features(&flags),
+            "classify" => cmd_classify(&flags),
+            "train" => cmd_train(&flags),
+            "report" => cmd_report(&flags),
+            "capture" => cmd_capture(&flags),
+            "stats" => cmd_stats(&flags),
+            "trace" => cmd_trace(&flags),
+            "help" | "--help" | "-h" => {
+                usage();
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?}")),
         }
-        other => Err(format!("unknown command {other:?}")),
     };
     let result = result.and_then(|()| {
         if let Some(path) = metrics_path {
             let json = dns_backscatter::telemetry::snapshot_json();
             std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
             dns_backscatter::telemetry::info!("cli", "wrote metrics snapshot"; path = path);
+        }
+        if let Some(path) = trace_path {
+            use dns_backscatter::trace::ledger;
+            let events = dns_backscatter::trace::drain();
+            let json = dns_backscatter::trace::chrome_trace_json(&events);
+            std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+            for imb in ledger::verify() {
+                let win = match imb.window {
+                    ledger::NO_WINDOW => "-".to_string(),
+                    w => w.to_string(),
+                };
+                dns_backscatter::telemetry::warn!(
+                    "cli",
+                    "ledger imbalance at {} (window {win}): {} in, {} accounted",
+                    imb.stage,
+                    imb.records_in,
+                    imb.accounted
+                );
+            }
+            dns_backscatter::telemetry::info!(
+                "cli",
+                "wrote trace";
+                path = path,
+                events = events.len(),
+                dropped = dns_backscatter::trace::dropped(),
+            );
         }
         Ok(())
     });
@@ -80,6 +120,82 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The root span name for a subcommand (span names are `&'static str`,
+/// so unknown commands fall back to a generic root).
+fn root_span_name(command: &str) -> &'static str {
+    match command {
+        "simulate" => "cli.simulate",
+        "features" => "cli.features",
+        "classify" => "cli.classify",
+        "train" => "cli.train",
+        "report" => "cli.report",
+        "capture" => "cli.capture",
+        "stats" => "cli.stats",
+        "trace" => "cli.trace",
+        _ => "cli.run",
+    }
+}
+
+/// `backscatter trace`: inspect a Chrome trace JSON file written by
+/// `--trace` — event phases, lanes, and the hottest spans.
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let path = flags.get("file").ok_or("--file is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value =
+        dns_backscatter::trace::json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("no traceEvents array — not a --trace output?")?;
+
+    let mut lanes: BTreeMap<u64, String> = BTreeMap::new();
+    let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+    // Span name → (end count, summed dur_us) from span-end events.
+    let mut spans: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap_or("?");
+        *phases.entry(ph.to_string()).or_insert(0) += 1;
+        let tid = e.get("tid").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+        if ph == "M" {
+            if e.get("name").and_then(|v| v.as_str()) == Some("thread_name") {
+                if let Some(n) = e.get("args").and_then(|a| a.get("name")).and_then(|v| v.as_str())
+                {
+                    lanes.insert(tid, n.to_string());
+                }
+            }
+            continue;
+        }
+        lanes.entry(tid).or_insert_with(|| format!("lane-{tid}"));
+        if ph == "E" {
+            if let Some(name) = e.get("name").and_then(|v| v.as_str()) {
+                let dur = e
+                    .get("args")
+                    .and_then(|a| a.get("dur_us"))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0) as u64;
+                let s = spans.entry(name.to_string()).or_insert((0, 0));
+                s.0 += 1;
+                s.1 += dur;
+            }
+        }
+    }
+
+    println!("{path}: {} events", events.len());
+    let ph_counts: Vec<String> = phases.iter().map(|(k, v)| format!("{v} {k}")).collect();
+    println!("phases: {}", ph_counts.join(", "));
+    println!("lanes:");
+    for (tid, name) in &lanes {
+        println!("  {tid:>4}  {name}");
+    }
+    let mut hottest: Vec<(&String, &(u64, u64))> = spans.iter().collect();
+    hottest.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
+    println!("spans by total time:");
+    for (name, (count, total_us)) in hottest.iter().take(15) {
+        println!("  {total_us:>10} us  {count:>6}x  {name}");
+    }
+    Ok(())
 }
 
 /// `backscatter stats`: describe the telemetry surface, or dump a live
@@ -109,7 +225,19 @@ metric naming: dotted crate.stage names, e.g.
   log.error/.warn/.info/.debug     logger event counts
 
 histograms report count, sum, max, p50, p90, p99 in nanoseconds.
-logging: set BS_LOG=off|error|warn|info|debug (default info).
+logging: set BS_LOG=off|error|warn|info|debug (default info) and
+BS_LOG_FORMAT=text|json (default text; json emits one object per
+line: ts_ms, level, target, message, kvs).
+
+tracing — every subcommand also accepts --trace <path> to record a
+causal trace (hierarchical spans with worker-thread parentage, a
+flight-recorder ring buffer, and per-stage drop-accounting ledger
+cells) and write Chrome trace-event JSON on success; load it in
+Perfetto or chrome://tracing, or summarize it with
+`backscatter trace --file <path>`. Ledger conservation
+(records in == sum of outcome buckets, per stage and window) is
+verified at exit; imbalances are logged as warnings.
+
 parallelism: --threads <N> or BS_THREADS (default all cores);
 results are bit-identical at any thread count."
             );
@@ -150,12 +278,17 @@ commands:
   capture   --capture <file.bscap> --out <log.tsv>   and back
   stats     [--format help|json|prometheus]
             describe the telemetry metrics, or dump a snapshot
+  trace     --file <trace.json>
+            inspect a --trace output: phases, lanes, hottest spans
 
 every command accepts --metrics <path> to write a JSON telemetry
-snapshot (counters, gauges, latency histograms) on success, and
---threads <N> to size the worker pool (default: BS_THREADS env, else
-all cores; results are bit-identical at any thread count); set
-BS_LOG=off|error|warn|info|debug to control log verbosity.
+snapshot (counters, gauges, latency histograms) on success, --trace
+<path> to record a causal trace and write Chrome trace-event JSON
+(open in Perfetto / chrome://tracing), and --threads <N> to size the
+worker pool (default: BS_THREADS env, else all cores; results are
+bit-identical at any thread count); set
+BS_LOG=off|error|warn|info|debug to control log verbosity and
+BS_LOG_FORMAT=json for one JSON object per log line.
 
 datasets: JP-ditl, B-post-ditl, B-long, B-multi-year, M-ditl, M-ditl-2015, M-sampled"
     );

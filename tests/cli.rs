@@ -152,6 +152,10 @@ fn report_contains_sections() {
 fn classify_with_metrics_writes_snapshot() {
     let log = simulated_log();
     let metrics = tmp("cli-metrics.json");
+    // The seed must match `simulated_log()`: the ground-truth oracle is
+    // rebuilt from the scenario seed, and a mismatched seed yields an
+    // originator set disjoint from the log — an untrainable window with
+    // no ml counters to assert on.
     let out = bin()
         .args([
             "classify",
@@ -162,7 +166,7 @@ fn classify_with_metrics_writes_snapshot() {
             "--scale",
             "smoke",
             "--seed",
-            "7",
+            "5",
             "--metrics",
             metrics.to_str().unwrap(),
         ])
@@ -182,11 +186,64 @@ fn classify_with_metrics_writes_snapshot() {
 }
 
 #[test]
+fn simulate_with_trace_writes_chrome_trace_json() {
+    let log = tmp("cli-trace-jp.tsv");
+    let trace_out = tmp("cli-trace.json");
+    let out = bin()
+        .args([
+            "simulate",
+            "--dataset",
+            "JP-ditl",
+            "--scale",
+            "smoke",
+            "--seed",
+            "5",
+            "--out",
+            log.to_str().unwrap(),
+            "--trace",
+            trace_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("simulate with trace");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("ledger imbalance"), "conservation violated:\n{stderr}");
+
+    let text = std::fs::read_to_string(&trace_out).expect("trace file written");
+    let value = dns_backscatter::trace::json::parse(&text).expect("valid Chrome trace JSON");
+    let events =
+        value.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array present");
+    assert!(events.len() > 4, "only {} trace events", events.len());
+    assert!(
+        events.iter().any(|e| e.get("name").and_then(|v| v.as_str()) == Some("cli.simulate")),
+        "root span missing from trace"
+    );
+
+    // The inspection subcommand summarizes the same file.
+    let out =
+        bin().args(["trace", "--file", trace_out.to_str().unwrap()]).output().expect("trace cmd");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("spans by total time"), "no span summary:\n{stdout}");
+    assert!(stdout.contains("cli.simulate"), "root span not summarized:\n{stdout}");
+}
+
+#[test]
+fn trace_command_rejects_non_trace_files() {
+    let log = simulated_log();
+    let out = bin().args(["trace", "--file", log.to_str().unwrap()]).output().expect("trace cmd");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
 fn stats_documents_the_metric_schema() {
     let out = bin().arg("stats").output().expect("stats");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["--metrics", "netsim.contacts", "sensor.records", "BS_LOG"] {
+    for needle in
+        ["--metrics", "--trace", "netsim.contacts", "sensor.records", "BS_LOG", "BS_LOG_FORMAT"]
+    {
         assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
     }
     let out = bin().args(["stats", "--format", "json"]).output().expect("stats json");

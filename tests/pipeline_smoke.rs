@@ -89,6 +89,26 @@ fn classes_leave_distinct_static_fingerprints() {
 }
 
 #[test]
+fn sensor_stages_conserve_every_record() {
+    // With the ledger recording, the ingest and analyzability stages
+    // must account for every record they saw (records in == kept +
+    // deduped + out-of-window + below-threshold + truncated). Other
+    // tests in this binary may record concurrently; that is safe
+    // because each ledger record call is internally balanced.
+    bs_trace::enable();
+    bs_trace::ledger::reset();
+    let (features, _truth) = run_jp_pipeline();
+    assert!(!features.is_empty(), "nothing analyzable — test is vacuous");
+    let imbalances = bs_trace::ledger::verify();
+    assert!(imbalances.is_empty(), "ledger imbalance:\n{}", bs_trace::ledger::render());
+    let snap = bs_trace::ledger::snapshot();
+    for stage in ["sensor.ingest", "sensor.select"] {
+        assert!(snap.keys().any(|(s, _)| s == stage), "{stage} filed no ledger flows");
+    }
+    bs_trace::disable();
+}
+
+#[test]
 fn scanners_show_wide_footprints_and_many_blocks() {
     let (features, truth) = run_jp_pipeline();
     // Scanners probe uniformly: their querier /24 diversity (local
