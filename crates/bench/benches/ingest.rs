@@ -1,0 +1,141 @@
+//! Criterion benches for the `bs-fastmap` ingest engine: the
+//! compact-key fast path against the retained BTree reference, on the
+//! two workload shapes that stress opposite ends of the sensor.
+//!
+//! * **storm** — many one-shot originators, few queriers each: admission
+//!   filtering, probation churn, and eviction dominate. This is the
+//!   shape that made the reference's O(n) `min_by_key` eviction scan a
+//!   bottleneck.
+//! * **heavy-hitter** — few originators, many queriers each: dedup
+//!   lookups and querier-set growth dominate.
+//!
+//! Logs are generated with a fixed-seed LCG so every run (and the fast
+//! vs reference comparison) sees identical streams. Under the offline
+//! criterion stub each bench body runs exactly once, so `cargo bench
+//! -p bench --bench ingest` doubles as a smoke test.
+
+use backscatter_core::dns::{Rcode, SimDuration, SimTime};
+use backscatter_core::netsim::log::{QueryLog, QueryLogRecord};
+use backscatter_core::sensor::ingest::Observations;
+use backscatter_core::sensor::{ReferenceStreamingSensor, StreamConfig, StreamingSensor};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv4Addr;
+
+const RECORDS: usize = 50_000;
+const SPAN_SECS: u64 = 20_000;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// Many distinct originators (a scan storm), few queriers each.
+fn storm_log() -> QueryLog {
+    let mut rng = Lcg(0x5EED_0001);
+    let mut log = QueryLog::new();
+    for i in 0..RECORDS {
+        let o = rng.next() as u32 % 40_000;
+        let q = rng.next() as u32 % 2_000;
+        log.push(QueryLogRecord {
+            time: SimTime(i as u64 * SPAN_SECS / RECORDS as u64),
+            querier: Ipv4Addr::from(0x0A00_0000 | q),
+            originator: Ipv4Addr::from(0xC000_0000 | o),
+            rcode: Rcode::NoError,
+        });
+    }
+    log
+}
+
+/// Few heavily-queried originators, wide querier populations.
+fn heavy_hitter_log() -> QueryLog {
+    let mut rng = Lcg(0x5EED_0002);
+    let mut log = QueryLog::new();
+    for i in 0..RECORDS {
+        let o = rng.next() as u32 % 64;
+        let q = rng.next() as u32 % 30_000;
+        log.push(QueryLogRecord {
+            time: SimTime(i as u64 * SPAN_SECS / RECORDS as u64),
+            querier: Ipv4Addr::from(0x0A00_0000 | q),
+            originator: Ipv4Addr::from(0xC000_0000 | o),
+            rcode: Rcode::NoError,
+        });
+    }
+    log
+}
+
+fn stream_cfg() -> StreamConfig {
+    StreamConfig {
+        window: SimDuration::from_secs(SPAN_SECS + 1),
+        max_originators: 10_000,
+        admission_queries: 2,
+        ..Default::default()
+    }
+}
+
+fn run_stream(log: &QueryLog, cfg: StreamConfig) -> usize {
+    let mut sensor = StreamingSensor::new(cfg);
+    let mut emitted = 0usize;
+    for r in log.records() {
+        if let Some(w) = sensor.push(*r) {
+            emitted += w.observations.originator_count();
+        }
+    }
+    if let Some(w) = sensor.finish() {
+        emitted += w.observations.originator_count();
+    }
+    emitted
+}
+
+fn run_stream_reference(log: &QueryLog, cfg: StreamConfig) -> usize {
+    let mut sensor = ReferenceStreamingSensor::new(cfg);
+    let mut emitted = 0usize;
+    for r in log.records() {
+        if let Some(w) = sensor.push(*r) {
+            emitted += w.observations.originator_count();
+        }
+    }
+    if let Some(w) = sensor.finish() {
+        emitted += w.observations.originator_count();
+    }
+    emitted
+}
+
+fn batch_ingest(c: &mut Criterion) {
+    let end = SimTime(SPAN_SECS + 1);
+    let dedup = SimDuration::from_secs(30);
+    for (shape, log) in [("storm", storm_log()), ("heavy_hitter", heavy_hitter_log())] {
+        let mut g = c.benchmark_group(format!("ingest_batch_{shape}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(log.len() as u64));
+        g.bench_function("fast", |b| {
+            b.iter(|| {
+                Observations::ingest_with_dedup(&log, SimTime::ZERO, end, dedup).originator_count()
+            })
+        });
+        g.bench_function("reference", |b| {
+            b.iter(|| {
+                Observations::ingest_with_dedup_reference(&log, SimTime::ZERO, end, dedup)
+                    .originator_count()
+            })
+        });
+        g.finish();
+    }
+}
+
+fn stream_ingest(c: &mut Criterion) {
+    for (shape, log) in [("storm", storm_log()), ("heavy_hitter", heavy_hitter_log())] {
+        let mut g = c.benchmark_group(format!("ingest_stream_{shape}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(log.len() as u64));
+        g.bench_function("fast", |b| b.iter(|| run_stream(&log, stream_cfg())));
+        g.bench_function("reference", |b| b.iter(|| run_stream_reference(&log, stream_cfg())));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, batch_ingest, stream_ingest);
+criterion_main!(benches);

@@ -18,13 +18,64 @@
 //! identically — the process asserts the determinism contract before
 //! writing anything.
 //!
+//! The snapshot also times raw ingest throughput on a fixed-seed
+//! storm-shaped log: `bench.ingest.batch_fast_rps` /
+//! `bench.ingest.batch_reference_rps` compare the `bs-fastmap`
+//! compact-key engine against the retained BTree reference for batch
+//! ingestion, and `bench.ingest.stream_fast_rps` /
+//! `bench.ingest.stream_reference_rps` do the same for the streaming
+//! sensor under admission/eviction pressure (`bench.ingest.records` is
+//! the log size). Fast and reference outputs are asserted equal before
+//! any number is recorded.
+//!
 //! ```bash
 //! cargo run --release -p bench --bin perf_snapshot
 //! ```
 
+use backscatter_core::dns::Rcode;
+use backscatter_core::netsim::log::{QueryLog, QueryLogRecord};
 use backscatter_core::prelude::*;
+use backscatter_core::sensor::ingest::Observations;
+use backscatter_core::sensor::{ReferenceStreamingSensor, StreamConfig, StreamingSensor};
+use std::net::Ipv4Addr;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Records in the synthetic ingest-throughput log.
+const INGEST_RECORDS: usize = 200_000;
+/// Time span the synthetic log covers, in seconds.
+const INGEST_SPAN_SECS: u64 = 20_000;
+
+/// Storm-shaped synthetic log (many one-shot originators, few queriers
+/// each) from a fixed-seed LCG — the workload that motivated the
+/// `bs-fastmap` fast path, identical on every run.
+fn ingest_log() -> QueryLog {
+    let mut state: u64 = 0x5EED_CAFE;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let mut log = QueryLog::new();
+    for i in 0..INGEST_RECORDS {
+        let o = next() as u32 % 60_000;
+        let q = next() as u32 % 4_000;
+        log.push(QueryLogRecord {
+            time: SimTime(i as u64 * INGEST_SPAN_SECS / INGEST_RECORDS as u64),
+            querier: Ipv4Addr::from(0x0A00_0000 | q),
+            originator: Ipv4Addr::from(0xC000_0000 | o),
+            rcode: Rcode::NoError,
+        });
+    }
+    log
+}
+
+/// Records/second over one timed run of `f`.
+fn rps(records: usize, f: impl FnOnce() -> usize) -> (i64, usize) {
+    let t0 = Instant::now();
+    let out = f();
+    let secs = t0.elapsed().as_secs_f64();
+    ((records as f64 / secs.max(1e-9)) as i64, out)
+}
 
 fn run_pipeline(world: &World) -> Vec<usize> {
     let spec = DatasetSpec::paper(DatasetId::JpDitl, Scale::smoke(), 7);
@@ -35,11 +86,72 @@ fn run_pipeline(world: &World) -> Vec<usize> {
     run.windows.iter().map(|w| w.entries.len()).collect()
 }
 
+/// Ingest throughput, fast path vs retained reference, batch and
+/// streaming (the streaming config keeps the table under pressure so
+/// admission + eviction are on the measured path). Asserts the fast
+/// path's output equals the reference's before recording anything.
+fn ingest_throughput() -> [(&'static str, i64); 5] {
+    let log = ingest_log();
+    let end = SimTime(INGEST_SPAN_SECS + 1);
+    let dedup = SimDuration::from_secs(30);
+    let cfg = StreamConfig {
+        window: SimDuration::from_secs(INGEST_SPAN_SECS + 1),
+        max_originators: 20_000,
+        admission_queries: 2,
+        ..Default::default()
+    };
+
+    let (batch_fast_rps, fast_batch) = rps(log.len(), || {
+        Observations::ingest_with_dedup(&log, SimTime::ZERO, end, dedup).originator_count()
+    });
+    let (batch_ref_rps, ref_batch) = rps(log.len(), || {
+        Observations::ingest_with_dedup_reference(&log, SimTime::ZERO, end, dedup)
+            .originator_count()
+    });
+    assert_eq!(fast_batch, ref_batch, "batch fast path must match the reference");
+
+    let (stream_fast_rps, fast_stream) = rps(log.len(), || {
+        let mut s = StreamingSensor::new(cfg);
+        let mut n = 0usize;
+        for r in log.records() {
+            if let Some(w) = s.push(*r) {
+                n += w.observations.originator_count();
+            }
+        }
+        n + s.finish().map_or(0, |w| w.observations.originator_count())
+    });
+    let (stream_ref_rps, ref_stream) = rps(log.len(), || {
+        let mut s = ReferenceStreamingSensor::new(cfg);
+        let mut n = 0usize;
+        for r in log.records() {
+            if let Some(w) = s.push(*r) {
+                n += w.observations.originator_count();
+            }
+        }
+        n + s.finish().map_or(0, |w| w.observations.originator_count())
+    });
+    assert_eq!(fast_stream, ref_stream, "streaming fast path must match the reference");
+
+    [
+        ("bench.ingest.records", log.len() as i64),
+        ("bench.ingest.batch_fast_rps", batch_fast_rps),
+        ("bench.ingest.batch_reference_rps", batch_ref_rps),
+        ("bench.ingest.stream_fast_rps", stream_fast_rps),
+        ("bench.ingest.stream_reference_rps", stream_ref_rps),
+    ]
+}
+
 fn main() {
     let world = backscatter_core::netsim::world::World::new(WorldConfig::default());
 
     // Baseline: telemetry compiled in but disabled (the default state).
     backscatter_core::telemetry::disable();
+
+    // Ingest throughput first, while telemetry is off, so the sensor's
+    // window-flush counters from the synthetic log don't leak into the
+    // pipeline snapshot below.
+    let ingest_gauges = ingest_throughput();
+
     let t0 = Instant::now();
     let classified_off = run_pipeline(&world);
     let off_ms = t0.elapsed().as_millis() as i64;
@@ -94,6 +206,11 @@ fn main() {
     // flight recorder + ledger on vs off (wall_ms_enabled).
     backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_trace_enabled", traced_ms);
     backscatter_core::telemetry::gauge_set("bench.pipeline.trace_events", trace_events as i64);
+    // Ingest-engine throughput: records/second, `bs-fastmap` fast path
+    // vs the retained BTree reference, batch and streaming.
+    for (name, value) in ingest_gauges {
+        backscatter_core::telemetry::gauge_set(name, value);
+    }
 
     let out: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()

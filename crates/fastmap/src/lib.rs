@@ -1,0 +1,76 @@
+//! `bs-fastmap` — compact-key hash containers for the sensor hot path.
+//!
+//! Every record the pipeline sees funnels through sensor ingestion:
+//! one dedup probe on the `(originator, querier)` pair and one
+//! per-originator accumulation per accepted record. The std containers
+//! the seed used there (`BTreeMap<Ipv4Addr, _>`,
+//! `HashMap<(Ipv4Addr, Ipv4Addr), _>` with SipHash,
+//! `BTreeSet<Ipv4Addr>`) pay pointer chasing, tuple comparisons, and a
+//! DoS-resistant hash the workload does not need — the keys are IPv4
+//! addresses that pack losslessly into machine integers. This crate
+//! provides the three primitives the fast path is built from, with
+//! **zero dependencies** (crates.io is unfetchable in the build
+//! environment, so — like `bs-par` and `bs-trace` — everything is
+//! hand-rolled on `std`):
+//!
+//! * [`FastKey`] — the hash: one odd-constant multiply (fibonacci
+//!   hashing, the FxHash idea) whose *high* bits index the table, so
+//!   sequential keys (adjacent IPv4 addresses, packed address pairs)
+//!   scatter instead of clustering;
+//! * [`FastMap`] — an open-addressing, linear-probing map specialized
+//!   for `u32`/`u64` keys: one flat slot array, tombstone deletion
+//!   with slot reuse, power-of-two growth at 7/8 occupancy;
+//! * [`CompactSet`] — a `u32` set for querier footprints, chunked by
+//!   the high 16 bits: small chunks are sorted `Vec<u16>` arrays,
+//!   chunks past 4096 entries promote to 8 KiB bitmaps (the classic
+//!   roaring layout), and iteration yields ascending order so
+//!   flush-time conversion to `BTreeSet` is a linear append.
+//!
+//! # What this crate is not
+//!
+//! Not a general-purpose hash map: keys are integers, hashing is not
+//! keyed (an adversary who controls keys can construct collisions —
+//! acceptable for a sensor whose keys are addresses it also rate-caps
+//! per window), and there is no incremental shrinking. The sensor
+//! clears everything at window flush, which resets tables wholesale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod map;
+mod set;
+
+pub use map::FastMap;
+pub use set::CompactSet;
+
+/// 2^64 / φ, the fibonacci-hashing multiplier: odd, and with the
+/// golden-ratio bit pattern that spreads consecutive keys maximally
+/// far apart in the high bits.
+pub const PHI64: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An integer key [`FastMap`] can hash with one multiply.
+///
+/// `mix` must place its entropy in the **high** bits: the map indexes
+/// with `mix() >> shift`, not a low-bit mask, which is what makes a
+/// bare multiplicative hash safe for sequential keys.
+pub trait FastKey: Copy + Eq {
+    /// Hash the key. High bits index the table.
+    fn mix(self) -> u64;
+}
+
+impl FastKey for u32 {
+    #[inline]
+    fn mix(self) -> u64 {
+        (self as u64).wrapping_mul(PHI64)
+    }
+}
+
+impl FastKey for u64 {
+    #[inline]
+    fn mix(self) -> u64 {
+        // Fold the top half back down first so keys differing only in
+        // their high bits (e.g. packed (originator << 32) pairs that
+        // share a querier) still change every output bit.
+        (self ^ (self >> 32)).wrapping_mul(PHI64)
+    }
+}

@@ -1,0 +1,307 @@
+//! The open-addressing map.
+
+use crate::FastKey;
+
+/// One slot of the table. `Tombstone` keeps probe chains intact after
+/// a removal; inserts reuse the first tombstone they probe past.
+#[derive(Clone, Debug)]
+enum Slot<K, V> {
+    Empty,
+    Tombstone,
+    Full(K, V),
+}
+
+impl<K, V> Slot<K, V> {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        matches!(self, Slot::Empty)
+    }
+}
+
+/// An open-addressing hash map specialized for integer keys.
+///
+/// Linear probing over one flat power-of-two slot array; the home slot
+/// is the high bits of [`FastKey::mix`], so a single multiply replaces
+/// SipHash. Deletion leaves tombstones that later inserts reuse; the
+/// table grows (and drops all tombstones) when live entries plus
+/// tombstones reach 7/8 of capacity.
+///
+/// ```
+/// use bs_fastmap::FastMap;
+/// let mut m: FastMap<u32, &str> = FastMap::new();
+/// m.insert(0xC0A8_0001, "192.168.0.1");
+/// assert_eq!(m.get(&0xC0A8_0001), Some(&"192.168.0.1"));
+/// assert_eq!(m.remove(&0xC0A8_0001), Some("192.168.0.1"));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FastMap<K, V> {
+    slots: Vec<Slot<K, V>>,
+    /// Live entries.
+    len: usize,
+    /// Tombstones (counted toward occupancy so probe chains stay short).
+    tombs: usize,
+    /// `64 - log2(slots.len())`: the hash's high bits become the index.
+    shift: u32,
+}
+
+impl<K: FastKey, V> Default for FastMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: FastKey, V> FastMap<K, V> {
+    /// An empty map; allocates nothing until the first insert.
+    pub fn new() -> Self {
+        FastMap { slots: Vec::new(), len: 0, tombs: 0, shift: 64 }
+    }
+
+    /// An empty map pre-sized for at least `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut m = Self::new();
+        if n > 0 {
+            m.rehash(Self::cap_for(n));
+        }
+        m
+    }
+
+    /// Smallest power-of-two capacity that holds `n` live entries
+    /// below the 7/8 occupancy bound (minimum 8).
+    fn cap_for(n: usize) -> usize {
+        let need = n.saturating_mul(8) / 7 + 1;
+        need.next_power_of_two().max(8)
+    }
+
+    /// Live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no live entries exist.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated slots (0 before the first insert).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn home(&self, k: K) -> usize {
+        // shift == 64 would be UB on the raw op; it only occurs while
+        // the table is unallocated, and every caller allocates first.
+        (k.mix() >> self.shift) as usize
+    }
+
+    /// Grow/rehash into `new_cap` slots, dropping tombstones.
+    fn rehash(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two() && new_cap > self.len);
+        let old = std::mem::take(&mut self.slots);
+        self.slots = Vec::new();
+        self.slots.resize_with(new_cap, || Slot::Empty);
+        self.shift = 64 - new_cap.trailing_zeros();
+        self.tombs = 0;
+        let mask = new_cap - 1;
+        for slot in old {
+            if let Slot::Full(k, v) = slot {
+                let mut i = self.home(k);
+                while !self.slots[i].is_empty() {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full(k, v);
+            }
+        }
+    }
+
+    /// Make room for one more entry if occupancy would cross 7/8.
+    fn reserve_one(&mut self) {
+        let cap = self.slots.len();
+        if (self.len + self.tombs + 1) * 8 > cap * 7 {
+            // Double when genuinely full; same size when tombstones are
+            // the problem (rehash-in-place clears them).
+            let new_cap =
+                if (self.len + 1) * 8 > cap * 4 { Self::cap_for(self.len + 1) } else { cap };
+            self.rehash(new_cap.max(8));
+        }
+    }
+
+    /// Index of `k`'s slot: `Ok(i)` when present at `i`, `Err(i)` with
+    /// the insertion slot (first tombstone on the probe path, else the
+    /// terminating empty slot) when absent. Requires an allocated table.
+    fn probe(&self, k: K) -> Result<usize, usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.home(k);
+        let mut first_tomb: Option<usize> = None;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return Err(first_tomb.unwrap_or(i)),
+                Slot::Tombstone => {
+                    if first_tomb.is_none() {
+                        first_tomb = Some(i);
+                    }
+                }
+                Slot::Full(kk, _) => {
+                    if *kk == k {
+                        return Ok(i);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert, returning the previous value if the key was present.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        if self.slots.is_empty() {
+            self.rehash(8);
+        } else {
+            self.reserve_one();
+        }
+        match self.probe(k) {
+            Ok(i) => match &mut self.slots[i] {
+                Slot::Full(_, old) => Some(std::mem::replace(old, v)),
+                _ => unreachable!("probe returned Ok on a non-full slot"),
+            },
+            Err(i) => {
+                if matches!(self.slots[i], Slot::Tombstone) {
+                    self.tombs -= 1;
+                }
+                self.slots[i] = Slot::Full(k, v);
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Reference to the value for `k`.
+    #[inline]
+    pub fn get(&self, k: &K) -> Option<&V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(*k) {
+            Ok(i) => match &self.slots[i] {
+                Slot::Full(_, v) => Some(v),
+                _ => unreachable!("probe returned Ok on a non-full slot"),
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Mutable reference to the value for `k`.
+    #[inline]
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(*k) {
+            Ok(i) => match &mut self.slots[i] {
+                Slot::Full(_, v) => Some(v),
+                _ => unreachable!("probe returned Ok on a non-full slot"),
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// True when `k` has a live entry.
+    #[inline]
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.get(k).is_some()
+    }
+
+    /// Remove `k`, leaving a tombstone; returns its value if present.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(*k) {
+            Ok(i) => {
+                let slot = std::mem::replace(&mut self.slots[i], Slot::Tombstone);
+                self.len -= 1;
+                self.tombs += 1;
+                match slot {
+                    Slot::Full(_, v) => Some(v),
+                    _ => unreachable!("probe returned Ok on a non-full slot"),
+                }
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The value for `k`, inserting `default()` first if absent. The
+    /// bool is `true` when the entry was just created — the one probe
+    /// answers both "was it new" and "where is it", which is what the
+    /// dedup table and probation table need per record.
+    pub fn get_or_insert_with(&mut self, k: K, default: impl FnOnce() -> V) -> (&mut V, bool) {
+        let (i, inserted) = self.entry_slot(k, default);
+        match &mut self.slots[i] {
+            Slot::Full(_, v) => (v, inserted),
+            _ => unreachable!("entry_slot returned a non-full slot"),
+        }
+    }
+
+    /// Shared insert path: slot index for `k`, creating it (from
+    /// `default`) if absent. Returns `(index, newly_inserted)`.
+    fn entry_slot(&mut self, k: K, default: impl FnOnce() -> V) -> (usize, bool) {
+        if self.slots.is_empty() {
+            self.rehash(8);
+        } else {
+            self.reserve_one();
+        }
+        match self.probe(k) {
+            Ok(i) => (i, false),
+            Err(i) => {
+                if matches!(self.slots[i], Slot::Tombstone) {
+                    self.tombs -= 1;
+                }
+                self.slots[i] = Slot::Full(k, default());
+                self.len += 1;
+                (i, true)
+            }
+        }
+    }
+
+    /// Iterate live entries in table (hash) order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Full(k, v) => Some((*k, v)),
+            _ => None,
+        })
+    }
+
+    /// Iterate live values in table (hash) order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Drop every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = Slot::Empty;
+        }
+        self.len = 0;
+        self.tombs = 0;
+    }
+
+    /// Longest probe chain over all live entries — a hash-quality
+    /// diagnostic (a clustered table shows long chains). O(capacity).
+    pub fn max_probe_length(&self) -> usize {
+        let cap = self.slots.len();
+        if cap == 0 {
+            return 0;
+        }
+        let mask = cap - 1;
+        let mut worst = 0;
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Slot::Full(k, _) = s {
+                let dist = (i.wrapping_sub(self.home(*k))) & mask;
+                worst = worst.max(dist + 1);
+            }
+        }
+        worst
+    }
+}

@@ -1,0 +1,162 @@
+//! The hybrid sorted-array/bitmap `u32` set.
+
+use crate::FastMap;
+
+/// Elements per chunk before a sorted array promotes to a bitmap.
+/// 4096 × 2 bytes = 8 KiB = exactly the bitmap's size, so promotion
+/// never grows a chunk's footprint past the bitmap bound.
+const ARRAY_MAX: usize = 4096;
+
+/// `u64` words in a chunk bitmap (covers the chunk's 65 536 values).
+const BITMAP_WORDS: usize = 1024;
+
+/// One chunk's storage: the 2^16 values sharing the key's high bits.
+#[derive(Clone, Debug)]
+enum Chunk {
+    /// Sorted, deduplicated low-16-bit values. The common case: an
+    /// originator's queriers scatter thinly over the address space.
+    Array(Vec<u16>),
+    /// Dense chunk (> [`ARRAY_MAX`] entries): one bit per value. Scan
+    /// storms hammering a /16 land here and insert in O(1).
+    Bitmap(Box<[u64; BITMAP_WORDS]>),
+}
+
+impl Chunk {
+    /// Per-chunk cardinality; a test-only cross-check against the
+    /// set-global `len` counter.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        match self {
+            Chunk::Array(v) => v.len(),
+            Chunk::Bitmap(b) => b.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+}
+
+/// A set of `u32` values (packed IPv4 addresses), chunked by the high
+/// 16 bits: sparse chunks are sorted `Vec<u16>` arrays, dense chunks
+/// are 8 KiB bitmaps. Insert is O(chunk) worst case for arrays (a
+/// bounded 8 KiB memmove) and O(1) for bitmaps; [`CompactSet::sorted`]
+/// yields ascending order, which is what flush-time conversion to the
+/// pipeline's `BTreeSet<Ipv4Addr>` representation consumes linearly.
+///
+/// ```
+/// use bs_fastmap::CompactSet;
+/// let mut s = CompactSet::new();
+/// assert!(s.insert(7));
+/// assert!(!s.insert(7));
+/// assert!(s.contains(7) && !s.contains(8));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CompactSet {
+    chunks: FastMap<u32, Chunk>,
+    len: usize,
+}
+
+impl CompactSet {
+    /// An empty set; allocates nothing until the first insert.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `x`; `true` when it was not already present.
+    pub fn insert(&mut self, x: u32) -> bool {
+        let (chunk, _) = self.chunks.get_or_insert_with(x >> 16, || Chunk::Array(Vec::new()));
+        let low = x as u16;
+        let inserted = match chunk {
+            Chunk::Array(v) => match v.binary_search(&low) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if v.len() >= ARRAY_MAX {
+                        let mut bits = Box::new([0u64; BITMAP_WORDS]);
+                        for &e in v.iter() {
+                            bits[(e >> 6) as usize] |= 1u64 << (e & 63);
+                        }
+                        bits[(low >> 6) as usize] |= 1u64 << (low & 63);
+                        *chunk = Chunk::Bitmap(bits);
+                    } else {
+                        v.insert(pos, low);
+                    }
+                    true
+                }
+            },
+            Chunk::Bitmap(bits) => {
+                let word = &mut bits[(low >> 6) as usize];
+                let mask = 1u64 << (low & 63);
+                let fresh = *word & mask == 0;
+                *word |= mask;
+                fresh
+            }
+        };
+        self.len += inserted as usize;
+        inserted
+    }
+
+    /// True when `x` is present.
+    pub fn contains(&self, x: u32) -> bool {
+        let low = x as u16;
+        match self.chunks.get(&(x >> 16)) {
+            None => false,
+            Some(Chunk::Array(v)) => v.binary_search(&low).is_ok(),
+            Some(Chunk::Bitmap(bits)) => bits[(low >> 6) as usize] & (1u64 << (low & 63)) != 0,
+        }
+    }
+
+    /// All values in ascending order.
+    pub fn sorted(&self) -> Vec<u32> {
+        let mut keys: Vec<u32> = self.chunks.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        let mut out = Vec::with_capacity(self.len);
+        for key in keys {
+            let high = key << 16;
+            match self.chunks.get(&key).expect("chunk key just listed") {
+                Chunk::Array(v) => out.extend(v.iter().map(|&low| high | low as u32)),
+                Chunk::Bitmap(bits) => {
+                    for (w, &word) in bits.iter().enumerate() {
+                        let mut word = word;
+                        while word != 0 {
+                            let bit = word.trailing_zeros();
+                            out.push(high | (w as u32) << 6 | bit);
+                            word &= word - 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop every value, keeping the chunk table's allocation.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_agrees_with_set_len() {
+        let mut s = CompactSet::new();
+        for x in (0..10_000u32).step_by(3) {
+            s.insert(x);
+        }
+        let by_chunks: usize = s.chunks.values().map(|c| c.len()).sum();
+        assert_eq!(by_chunks, s.len());
+    }
+}

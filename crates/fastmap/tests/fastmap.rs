@@ -1,0 +1,214 @@
+//! `bs-fastmap` behavioral coverage: map insert/lookup/remove/iterate,
+//! tombstone reuse, growth across resize thresholds, hash quality on
+//! sequential IPv4 keys, and the hybrid set's array↔bitmap promotion —
+//! each checked against a std reference container where one exists.
+
+use bs_fastmap::{CompactSet, FastKey, FastMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Deterministic splitmix64 stream for pseudo-random keys (no `rand`).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn insert_get_remove_roundtrip() {
+    let mut m: FastMap<u64, u64> = FastMap::new();
+    assert!(m.is_empty());
+    assert_eq!(m.get(&1), None);
+    assert_eq!(m.remove(&1), None);
+
+    assert_eq!(m.insert(1, 10), None);
+    assert_eq!(m.insert(2, 20), None);
+    assert_eq!(m.insert(1, 11), Some(10), "reinsert returns the old value");
+    assert_eq!(m.len(), 2);
+    assert_eq!(m.get(&1), Some(&11));
+    *m.get_mut(&2).unwrap() += 1;
+    assert_eq!(m.get(&2), Some(&21));
+
+    assert_eq!(m.remove(&1), Some(11));
+    assert_eq!(m.len(), 1);
+    assert!(!m.contains_key(&1));
+    assert!(m.contains_key(&2));
+}
+
+#[test]
+fn get_or_insert_with_reports_freshness() {
+    let mut m: FastMap<u32, u32> = FastMap::new();
+    let (v, fresh) = m.get_or_insert_with(9, || 1);
+    assert!(fresh);
+    *v += 1;
+    let (v, fresh) = m.get_or_insert_with(9, || 1);
+    assert!(!fresh);
+    assert_eq!(*v, 2);
+    assert_eq!(m.len(), 1);
+}
+
+#[test]
+fn agrees_with_btreemap_under_mixed_churn() {
+    // Pseudo-random inserts/overwrites/removes over a small key space
+    // (forcing collisions of intent, not of hash) must match BTreeMap.
+    let mut m: FastMap<u32, u64> = FastMap::new();
+    let mut reference: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut s = 0xDECAF;
+    for step in 0..20_000u64 {
+        let k = (splitmix(&mut s) % 512) as u32;
+        match splitmix(&mut s) % 3 {
+            0 | 1 => {
+                assert_eq!(m.insert(k, step), reference.insert(k, step));
+            }
+            _ => {
+                assert_eq!(m.remove(&k), reference.remove(&k));
+            }
+        }
+        assert_eq!(m.len(), reference.len());
+    }
+    let collected: BTreeMap<u32, u64> = m.iter().map(|(k, &v)| (k, v)).collect();
+    assert_eq!(collected, reference, "iteration must cover exactly the live entries");
+}
+
+#[test]
+fn tombstones_are_reused_without_growth() {
+    // Insert/remove cycles over a fixed working set must converge on a
+    // stable capacity: tombstone slots get reused (directly or via the
+    // same-size cleanup rehash), not accreted forever.
+    let mut m: FastMap<u64, u64> = FastMap::with_capacity(64);
+    for k in 0..32u64 {
+        m.insert(k, k);
+    }
+    let cap_after_fill = m.capacity();
+    for round in 0..10_000u64 {
+        let k = 1000 + (round % 32);
+        m.insert(k, round);
+        m.remove(&k);
+    }
+    assert_eq!(m.len(), 32);
+    assert!(
+        m.capacity() <= cap_after_fill * 2,
+        "churn at constant size must not grow the table unboundedly \
+         (started at {cap_after_fill}, ended at {})",
+        m.capacity()
+    );
+    for k in 0..32u64 {
+        assert_eq!(m.get(&k), Some(&k), "live entries must survive churn");
+    }
+}
+
+#[test]
+fn growth_preserves_entries_across_resize_thresholds() {
+    // Walk straight through several doublings; every entry must stay
+    // reachable after each rehash.
+    let mut m: FastMap<u32, u32> = FastMap::new();
+    let mut cap = m.capacity();
+    let mut resizes = 0;
+    for k in 0..10_000u32 {
+        m.insert(k, k ^ 0xFFFF);
+        if m.capacity() != cap {
+            resizes += 1;
+            cap = m.capacity();
+            // Spot-check across the whole table right after the rehash.
+            for probe in (0..=k).step_by(97) {
+                assert_eq!(m.get(&probe), Some(&(probe ^ 0xFFFF)));
+            }
+        }
+    }
+    assert!(resizes >= 5, "10k inserts from empty must resize repeatedly (saw {resizes})");
+    assert_eq!(m.len(), 10_000);
+    for k in 0..10_000u32 {
+        assert_eq!(m.get(&k), Some(&(k ^ 0xFFFF)));
+    }
+}
+
+#[test]
+fn sequential_ipv4_keys_do_not_cluster() {
+    // The hot-path worst case for a multiplicative hash: densely
+    // sequential keys. A /16 scan's addresses and the corresponding
+    // packed (originator, querier) pairs must both probe in O(1)-ish
+    // chains, not degrade toward linear scans.
+    let base = u32::from(std::net::Ipv4Addr::new(192, 168, 0, 0));
+    let mut by_ip: FastMap<u32, ()> = FastMap::new();
+    for i in 0..65_536u32 {
+        by_ip.insert(base + i, ());
+    }
+    let worst = by_ip.max_probe_length();
+    assert!(worst <= 16, "sequential u32 keys clustered: max probe chain {worst}");
+
+    let orig = u64::from(u32::from(std::net::Ipv4Addr::new(203, 0, 113, 9))) << 32;
+    let mut by_pair: FastMap<u64, ()> = FastMap::new();
+    for i in 0..65_536u64 {
+        by_pair.insert(orig | (base as u64 + i), ());
+    }
+    let worst = by_pair.max_probe_length();
+    assert!(worst <= 16, "sequential packed-pair keys clustered: max probe chain {worst}");
+}
+
+#[test]
+fn hash_mix_is_injective_on_samples() {
+    // mix() is a bijection composed with a shift at lookup time; two
+    // distinct keys must never produce identical full hashes.
+    let mut keys: BTreeSet<u64> = (0..50_000u64).collect();
+    let mut s = 7u64;
+    for _ in 0..50_000 {
+        keys.insert(splitmix(&mut s));
+    }
+    let mixed: BTreeSet<u64> = keys.iter().map(|k| k.mix()).collect();
+    assert_eq!(mixed.len(), keys.len(), "mix() collided on distinct keys");
+}
+
+#[test]
+fn clear_retains_capacity_and_empties() {
+    let mut m: FastMap<u32, u32> = FastMap::new();
+    for k in 0..1000 {
+        m.insert(k, k);
+    }
+    let cap = m.capacity();
+    m.clear();
+    assert!(m.is_empty());
+    assert_eq!(m.capacity(), cap);
+    assert_eq!(m.get(&1), None);
+    m.insert(1, 2);
+    assert_eq!(m.get(&1), Some(&2));
+}
+
+#[test]
+fn compact_set_matches_btreeset_across_promotion() {
+    // Drive one chunk straight through the array→bitmap promotion
+    // threshold and keep other chunks sparse; contents and sorted
+    // iteration must match a BTreeSet at every scale.
+    let mut s = CompactSet::new();
+    let mut reference = BTreeSet::new();
+    let mut state = 42u64;
+    for i in 0..6_000u32 {
+        // Dense chunk: everything under 0x0001_0000.
+        let dense = i * 7 % 60_000;
+        assert_eq!(s.insert(dense), reference.insert(dense));
+        // Sparse chunks: spread across the whole u32 space.
+        let sparse = splitmix(&mut state) as u32 | 0x0002_0000;
+        assert_eq!(s.insert(sparse), reference.insert(sparse));
+    }
+    assert_eq!(s.len(), reference.len());
+    let sorted = s.sorted();
+    assert!(sorted.windows(2).all(|w| w[0] < w[1]), "sorted() must be strictly ascending");
+    assert_eq!(sorted, reference.iter().copied().collect::<Vec<u32>>());
+    for probe in [0u32, 1, 59_999, 60_000, 0x0002_0001, u32::MAX] {
+        assert_eq!(s.contains(probe), reference.contains(&probe), "probe {probe}");
+    }
+    s.clear();
+    assert!(s.is_empty());
+    assert!(s.sorted().is_empty());
+    assert!(s.insert(3));
+}
+
+#[test]
+fn compact_set_chunk_boundaries() {
+    let mut s = CompactSet::new();
+    for x in [0u32, 0xFFFF, 0x1_0000, 0x1_FFFF, u32::MAX - 1, u32::MAX] {
+        assert!(s.insert(x));
+        assert!(s.contains(x));
+    }
+    assert_eq!(s.sorted(), vec![0, 0xFFFF, 0x1_0000, 0x1_FFFF, u32::MAX - 1, u32::MAX]);
+}

@@ -1,6 +1,21 @@
 //! Query-log ingestion and originator selection (paper §III-A, §III-B).
+//!
+//! Ingestion is the pipeline's hot path — every record the authority
+//! logs passes through exactly one dedup probe and one per-originator
+//! accumulation — so [`Observations::ingest_with_dedup`] runs on
+//! `bs-fastmap` compact-key structures: IPv4 addresses pack to `u32`,
+//! `(originator, querier)` dedup keys pack to one `u64`, per-originator
+//! state lives in a dense arena addressed by `u32` slot indices, and
+//! querier footprints accumulate in hybrid array/bitmap sets. The
+//! BTree-ordered [`Observations`] representation every downstream stage
+//! (extraction, classification, serialization) consumes is built once,
+//! at the end — ingestion order never influences it, so the fast path
+//! is observationally identical to the retained
+//! [`Observations::ingest_with_dedup_reference`] spec, and a property
+//! test holds the two equal on arbitrary record streams.
 
 use bs_dns::{SimDuration, SimTime};
+use bs_fastmap::{CompactSet, FastMap};
 use bs_netsim::log::QueryLog;
 use serde::{Deserialize, Serialize};
 use std::collections::btree_map::Entry;
@@ -62,22 +77,71 @@ pub struct Observations {
     pub all_queriers: BTreeSet<Ipv4Addr>,
 }
 
+/// Pack the paper's dedup key — one `(originator, querier)` address
+/// pair — into a single integer for the fast-path tables.
+#[inline]
+pub(crate) fn pack_pair(originator: Ipv4Addr, querier: Ipv4Addr) -> u64 {
+    (u64::from(u32::from(originator)) << 32) | u64::from(u32::from(querier))
+}
+
+/// Fast-path per-originator accumulator: the querier footprint stays a
+/// compact `u32` set until flush, when it converts (already sorted)
+/// into the `BTreeSet` the pipeline representation uses.
+#[derive(Debug)]
+pub(crate) struct SlotAccum {
+    pub(crate) originator: Ipv4Addr,
+    pub(crate) queries: Vec<(SimTime, Ipv4Addr)>,
+    pub(crate) queriers: CompactSet,
+}
+
+impl Default for SlotAccum {
+    fn default() -> Self {
+        SlotAccum {
+            originator: Ipv4Addr::UNSPECIFIED,
+            queries: Vec::new(),
+            queriers: CompactSet::new(),
+        }
+    }
+}
+
+impl SlotAccum {
+    /// Convert into the BTree-ordered pipeline representation.
+    pub(crate) fn into_observation(self) -> OriginatorObservation {
+        let queriers: BTreeSet<Ipv4Addr> =
+            self.queriers.sorted().into_iter().map(Ipv4Addr::from).collect();
+        OriginatorObservation { originator: self.originator, queries: self.queries, queriers }
+    }
+}
+
+/// Convert a compact querier set into the pipeline's `BTreeSet`.
+pub(crate) fn set_to_btree(set: &CompactSet) -> BTreeSet<Ipv4Addr> {
+    set.sorted().into_iter().map(Ipv4Addr::from).collect()
+}
+
 impl Observations {
     /// Ingest a query log restricted to `[start, end)`, applying the
     /// 30-second per-(originator, querier) deduplication.
     ///
     /// `dedup` is exposed for the ablation bench; the paper's pipeline
     /// always passes [`DEDUP_WINDOW`].
+    ///
+    /// This is the fast path: packed `u64` dedup keys in an
+    /// open-addressing table, per-originator state in a dense arena
+    /// addressed through a `u32` slot map, and hybrid array/bitmap
+    /// querier sets — converted to the BTree-ordered [`Observations`]
+    /// once, at the end. Results are identical to
+    /// [`Observations::ingest_with_dedup_reference`].
     pub fn ingest_with_dedup(
         log: &QueryLog,
         start: SimTime,
         end: SimTime,
         dedup: SimDuration,
     ) -> Self {
-        let mut per_originator: BTreeMap<Ipv4Addr, OriginatorObservation> = BTreeMap::new();
-        let mut all_queriers = BTreeSet::new();
-        // Last accepted time per (originator, querier).
-        let mut last_seen: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime> = BTreeMap::new();
+        let mut slot_of: FastMap<u32, u32> = FastMap::new();
+        let mut arena: Vec<SlotAccum> = Vec::new();
+        let mut all_queriers = CompactSet::new();
+        // Last accepted time per packed (originator, querier) pair.
+        let mut last_seen: FastMap<u64, u64> = FastMap::new();
         let mut seen: u64 = 0;
         let mut accepted: u64 = 0;
         let mut suppressed: u64 = 0;
@@ -91,27 +155,27 @@ impl Observations {
                 out_of_window += 1;
                 continue;
             }
-            let key = (r.originator, r.querier);
-            match last_seen.entry(key) {
-                Entry::Occupied(mut e) => {
-                    if r.time.since(*e.get()) < dedup {
-                        suppressed += 1;
-                        continue; // suppressed duplicate
-                    }
-                    e.insert(r.time);
+            let key = pack_pair(r.originator, r.querier);
+            let (last, fresh) = last_seen.get_or_insert_with(key, || r.time.secs());
+            if !fresh {
+                if r.time.since(SimTime(*last)) < dedup {
+                    suppressed += 1;
+                    continue; // suppressed duplicate
                 }
-                Entry::Vacant(e) => {
-                    e.insert(r.time);
-                }
+                *last = r.time.secs();
             }
             accepted += 1;
-            all_queriers.insert(r.querier);
-            let obs = per_originator.entry(r.originator).or_insert_with(|| OriginatorObservation {
-                originator: r.originator,
-                ..Default::default()
-            });
+            let querier = u32::from(r.querier);
+            all_queriers.insert(querier);
+            let (slot, new_originator) =
+                slot_of.get_or_insert_with(u32::from(r.originator), || arena.len() as u32);
+            let slot = *slot as usize;
+            if new_originator {
+                arena.push(SlotAccum { originator: r.originator, ..Default::default() });
+            }
+            let obs = &mut arena[slot];
             obs.queries.push((r.time, r.querier));
-            obs.queriers.insert(r.querier);
+            obs.queriers.insert(querier);
         }
         bs_telemetry::counter_add("sensor.records", accepted);
         bs_telemetry::counter_add("sensor.dedup_suppressed", suppressed);
@@ -120,6 +184,56 @@ impl Observations {
             seen,
             &[("kept", accepted), ("deduped", suppressed), ("out_of_window", out_of_window)],
         );
+        let per_originator: BTreeMap<Ipv4Addr, OriginatorObservation> =
+            arena.into_iter().map(|a| (a.originator, a.into_observation())).collect();
+        Observations {
+            window_start: start,
+            window_end: end,
+            per_originator,
+            all_queriers: set_to_btree(&all_queriers),
+        }
+    }
+
+    /// The retained reference implementation of
+    /// [`Observations::ingest_with_dedup`]: the original BTree-based
+    /// ingestion, kept as the executable specification the fast path is
+    /// property-tested against (and benchmarked against in the `ingest`
+    /// Criterion group). No telemetry — it exists to define behavior,
+    /// not to run in production.
+    pub fn ingest_with_dedup_reference(
+        log: &QueryLog,
+        start: SimTime,
+        end: SimTime,
+        dedup: SimDuration,
+    ) -> Self {
+        let mut per_originator: BTreeMap<Ipv4Addr, OriginatorObservation> = BTreeMap::new();
+        let mut all_queriers = BTreeSet::new();
+        // Last accepted time per (originator, querier).
+        let mut last_seen: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime> = BTreeMap::new();
+        for r in log.records() {
+            if r.time < start || r.time >= end {
+                continue;
+            }
+            let key = (r.originator, r.querier);
+            match last_seen.entry(key) {
+                Entry::Occupied(mut e) => {
+                    if r.time.since(*e.get()) < dedup {
+                        continue; // suppressed duplicate
+                    }
+                    e.insert(r.time);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(r.time);
+                }
+            }
+            all_queriers.insert(r.querier);
+            let obs = per_originator.entry(r.originator).or_insert_with(|| OriginatorObservation {
+                originator: r.originator,
+                ..Default::default()
+            });
+            obs.queries.push((r.time, r.querier));
+            obs.queriers.insert(r.querier);
+        }
         Observations { window_start: start, window_end: end, per_originator, all_queriers }
     }
 

@@ -27,6 +27,15 @@
 //! *not* shared with the name generator in `bs-netsim`, so matching
 //! here is a real test of the generator's realism rather than a
 //! tautology.
+//!
+//! Ingestion — both the batch path and [`stream::StreamingSensor`] —
+//! runs on the `bs-fastmap` compact-key engine (packed integer keys,
+//! arena-indexed per-originator state, hybrid querier sets, lazy
+//! eviction heap) and converts to the BTree-ordered [`Observations`]
+//! representation only at window flush; the retained reference
+//! implementations ([`ingest::Observations::ingest_with_dedup_reference`],
+//! [`stream::ReferenceStreamingSensor`]) define the semantics and are
+//! property-tested equal on arbitrary record streams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,7 +52,7 @@ pub use extract::{
 };
 pub use ingest::{select_analyzable, Observations, OriginatorObservation};
 pub use static_features::{classify_querier_name, StaticFeature};
-pub use stream::{StreamConfig, StreamingSensor, WindowSummary};
+pub use stream::{ReferenceStreamingSensor, StreamConfig, StreamingSensor, WindowSummary};
 
 use bs_netsim::types::{AsId, CountryCode, NameOutcome};
 use std::net::Ipv4Addr;

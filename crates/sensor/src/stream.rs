@@ -19,13 +19,44 @@
 //! bar, so eviction only ever touches originators the pipeline would
 //! discard anyway — unless the table is sized below the number of
 //! simultaneously-large originators, which [`WindowSummary::evicted`]
-//! makes visible.
+//! makes visible. The probation table itself is capped at
+//! [`StreamConfig::probation_cap`] entries (default 4 ×
+//! `max_originators`); a storm of one-shot originators that fills it
+//! triggers a wholesale clear (`sensor.stream.probation_resets`), so
+//! probation memory is bounded no matter how wide the storm.
+//!
+//! # The fast path
+//!
+//! Per-record work runs entirely on `bs-fastmap` compact-key
+//! structures: the dedup table keys packed `(originator, querier)`
+//! `u64` pairs, per-originator state lives in a dense arena addressed
+//! by `u32` slot indices (evicted slots recycle through a free list,
+//! keeping their allocations), querier footprints are hybrid
+//! array/bitmap sets, and eviction picks its victim from a **lazy
+//! min-heap** keyed by querier count — entries go stale as footprints
+//! grow and are refreshed on pop, so an admission costs O(log n)
+//! amortized instead of the O(n) full-table scan the seed performed.
+//! The BTree-ordered [`Observations`] the pipeline consumes is built
+//! once per window, at flush, which is what keeps the
+//! stream-equals-batch determinism guarantee intact; a retained
+//! BTree-based [`ReferenceStreamingSensor`] defines the semantics and
+//! a property test holds the two equal on arbitrary record streams.
+//!
+//! # Out-of-order records
+//!
+//! Records must arrive in time order. A record behind the current
+//! window's start would otherwise be silently credited to the wrong
+//! window, so it is counted (`sensor.stream.out_of_order`, plus an
+//! `out_of_order` conservation-ledger bucket) and dropped.
 
-use crate::ingest::{Observations, OriginatorObservation, DEDUP_WINDOW};
+use crate::ingest::{
+    pack_pair, set_to_btree, Observations, OriginatorObservation, SlotAccum, DEDUP_WINDOW,
+};
 use bs_dns::{SimDuration, SimTime};
+use bs_fastmap::{CompactSet, FastMap};
 use bs_netsim::log::QueryLogRecord;
-use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
 
 /// Streaming-sensor configuration.
@@ -40,6 +71,10 @@ pub struct StreamConfig {
     pub admission_queries: usize,
     /// Per-querier dedup window (the paper's 30 s).
     pub dedup: SimDuration,
+    /// Hard cap on probation entries; `0` means 4 × `max_originators`.
+    /// Reaching it clears the probation table (cheap decay: counts
+    /// restart, memory stays bounded through one-shot storms).
+    pub probation_cap: usize,
 }
 
 impl Default for StreamConfig {
@@ -49,12 +84,25 @@ impl Default for StreamConfig {
             max_originators: 100_000,
             admission_queries: 3,
             dedup: DEDUP_WINDOW,
+            probation_cap: 0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The probation cap with the `0 = 4 × max_originators` default
+    /// resolved.
+    pub fn resolved_probation_cap(&self) -> usize {
+        if self.probation_cap == 0 {
+            self.max_originators.saturating_mul(4)
+        } else {
+            self.probation_cap
         }
     }
 }
 
 /// A completed window emitted by the streaming sensor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowSummary {
     /// The window bounds.
     pub window: (SimTime, SimTime),
@@ -66,25 +114,57 @@ pub struct WindowSummary {
     pub evicted: usize,
 }
 
-/// The streaming sensor.
+/// One arena slot: an originator's in-window accumulation plus the
+/// occupancy flag the free list needs.
+#[derive(Debug, Default)]
+struct Slot {
+    accum: SlotAccum,
+    occupied: bool,
+}
+
+/// Window-local tallies, flushed to the global registry (and the
+/// conservation ledger) at window boundaries so the per-record hot
+/// path stays atomics-free.
+#[derive(Debug, Default)]
+struct Tallies {
+    records: u64,
+    deduped: u64,
+    admitted: u64,
+    // Conservation-ledger buckets: records held back by the admission
+    // filter (split into still-credited and dropped-by-reset), stored
+    // queries lost to evicted originators, and late records.
+    probation_held: u64,
+    probation_dropped: u64,
+    evicted_queries: u64,
+    out_of_order: u64,
+    probation_resets: u64,
+}
+
+/// The streaming sensor (fast path).
 pub struct StreamingSensor {
     config: StreamConfig,
+    probation_cap: usize,
     window_start: SimTime,
-    per_originator: BTreeMap<Ipv4Addr, OriginatorObservation>,
-    probation: HashMap<Ipv4Addr, usize>,
-    last_seen: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
-    all_queriers: std::collections::BTreeSet<Ipv4Addr>,
+    /// Originator (packed IPv4) → arena slot index.
+    slot_of: FastMap<u32, u32>,
+    /// Dense per-originator state; evicted slots recycle via `free`.
+    arena: Vec<Slot>,
+    free: Vec<u32>,
+    /// Lazy eviction heap: `(querier count at push, originator)`
+    /// min-entries. Stale entries (count grew, or originator already
+    /// evicted) are detected and refreshed/discarded on pop.
+    evict_heap: BinaryHeap<Reverse<(usize, u32)>>,
+    /// Admission filter: originator → queries seen while untracked.
+    probation: FastMap<u32, u32>,
+    /// Last accepted time per packed (originator, querier) pair.
+    last_seen: FastMap<u64, u64>,
+    all_queriers: CompactSet,
     evicted: usize,
     started: bool,
-    // Window-local telemetry tallies, flushed to the global registry at
-    // window boundaries so the per-record hot path stays atomics-free.
-    tally_records: u64,
-    tally_deduped: u64,
-    tally_admitted: u64,
-    // Conservation-ledger tallies: records held back by the admission
-    // filter, and stored queries lost to evicted originators.
-    tally_probation: u64,
-    tally_evicted_queries: u64,
+    tally: Tallies,
+    /// Lifetime count of lazy-heap pops — the eviction-cost
+    /// diagnostic the storm regression test bounds.
+    heap_pops: u64,
 }
 
 impl StreamingSensor {
@@ -93,29 +173,291 @@ impl StreamingSensor {
         assert!(config.window.secs() > 0);
         assert!(config.max_originators > 0);
         StreamingSensor {
+            probation_cap: config.resolved_probation_cap(),
             config,
             window_start: SimTime::ZERO,
-            per_originator: BTreeMap::new(),
-            probation: HashMap::new(),
-            last_seen: HashMap::new(),
-            all_queriers: std::collections::BTreeSet::new(),
+            slot_of: FastMap::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            evict_heap: BinaryHeap::new(),
+            probation: FastMap::new(),
+            last_seen: FastMap::new(),
+            all_queriers: CompactSet::new(),
             evicted: 0,
             started: false,
-            tally_records: 0,
-            tally_deduped: 0,
-            tally_admitted: 0,
-            tally_probation: 0,
-            tally_evicted_queries: 0,
+            tally: Tallies::default(),
+            heap_pops: 0,
         }
     }
 
     /// Feed one record (records must arrive in time order). Returns the
-    /// completed window when `r` crosses a window boundary.
+    /// completed window when `r` crosses a window boundary. A record
+    /// *behind* the current window start is counted and dropped — it
+    /// belongs to a window that has already been emitted.
     pub fn push(&mut self, r: QueryLogRecord) -> Option<WindowSummary> {
         if !self.started {
             // Anchor windows at the first record's window boundary.
             self.window_start = SimTime(r.time.secs() - r.time.secs() % self.config.window.secs());
             self.started = true;
+        }
+        if r.time < self.window_start {
+            self.tally.records += 1;
+            self.tally.out_of_order += 1;
+            return None;
+        }
+        let mut emitted = None;
+        if r.time >= self.window_start + self.config.window {
+            emitted = Some(self.rotate(r.time));
+        }
+        self.ingest(r);
+        emitted
+    }
+
+    /// Flush the current (partial) window at end of stream.
+    pub fn finish(mut self) -> Option<WindowSummary> {
+        if !self.started || self.tracked_originators() == 0 {
+            return None;
+        }
+        let end = self.window_start + self.config.window;
+        Some(self.take_window(end))
+    }
+
+    /// Originators currently tracked (arena occupancy).
+    pub fn tracked_originators(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// True when `originator` currently holds an arena slot.
+    pub fn is_tracked(&self, originator: Ipv4Addr) -> bool {
+        self.slot_of.contains_key(&u32::from(originator))
+    }
+
+    /// Lifetime lazy-heap pops performed while picking eviction
+    /// victims — a cost diagnostic: with the heap, total pops stay
+    /// proportional to admissions, where the seed's full-table scan
+    /// paid `max_originators` comparisons *per* admission.
+    pub fn eviction_heap_pops(&self) -> u64 {
+        self.heap_pops
+    }
+
+    fn rotate(&mut self, now: SimTime) -> WindowSummary {
+        let end = self.window_start + self.config.window;
+        let summary = self.take_window(end);
+        // Advance to the window containing `now` (possibly skipping
+        // empty windows).
+        let w = self.config.window.secs();
+        self.window_start = SimTime(now.secs() - now.secs() % w);
+        summary
+    }
+
+    fn take_window(&mut self, end: SimTime) -> WindowSummary {
+        let _span = bs_telemetry::span("sensor.window_flush");
+        // Convert the arena into the BTree-ordered representation the
+        // rest of the pipeline consumes — the only ordered work in the
+        // streaming sensor, and it happens once per window.
+        let mut per_originator = std::collections::BTreeMap::new();
+        for slot in self.arena.drain(..) {
+            if slot.occupied {
+                let obs = slot.accum.into_observation();
+                per_originator.insert(obs.originator, obs);
+            }
+        }
+        let observations = Observations {
+            window_start: self.window_start,
+            window_end: end,
+            per_originator,
+            all_queriers: set_to_btree(&self.all_queriers),
+        };
+        self.slot_of.clear();
+        self.free.clear();
+        self.evict_heap.clear();
+        self.probation.clear();
+        self.last_seen.clear();
+        self.all_queriers.clear();
+        let evicted = std::mem::take(&mut self.evicted);
+        let t = std::mem::take(&mut self.tally);
+        bs_telemetry::counter_add("sensor.stream.records", t.records);
+        bs_telemetry::counter_add("sensor.stream.dedup_suppressed", t.deduped);
+        bs_telemetry::counter_add("sensor.stream.admissions", t.admitted);
+        bs_telemetry::counter_add("sensor.stream.evictions", evicted as u64);
+        bs_telemetry::counter_add("sensor.stream.out_of_order", t.out_of_order);
+        bs_telemetry::counter_add("sensor.stream.probation_resets", t.probation_resets);
+        if bs_trace::is_enabled() {
+            // Window conservation: every record this window was stored
+            // (and survives in the emitted observations), deduped, held
+            // in probation (still credited or dropped by a cap reset),
+            // stored-then-lost to an eviction, or dropped as late.
+            let kept: u64 =
+                observations.per_originator.values().map(|o| o.queries.len() as u64).sum();
+            let _w = bs_trace::ledger::window_scope(observations.window_start.secs());
+            bs_trace::ledger::record(
+                "sensor.stream",
+                t.records,
+                &[
+                    ("kept", kept),
+                    ("deduped", t.deduped),
+                    ("probation_held", t.probation_held),
+                    ("probation_dropped", t.probation_dropped),
+                    ("evicted_queries", t.evicted_queries),
+                    ("out_of_order", t.out_of_order),
+                ],
+            );
+        }
+        bs_telemetry::gauge_set("sensor.window_evicted", evicted as i64);
+        bs_telemetry::gauge_set(
+            "sensor.tracked_originators",
+            observations.per_originator.len() as i64,
+        );
+        WindowSummary { window: (self.window_start, end), observations, evicted }
+    }
+
+    fn ingest(&mut self, r: QueryLogRecord) {
+        self.tally.records += 1;
+        // Dedup identical querier/originator pairs inside the window.
+        let key = pack_pair(r.originator, r.querier);
+        let (last, fresh) = self.last_seen.get_or_insert_with(key, || r.time.secs());
+        if !fresh {
+            if r.time.since(SimTime(*last)) < self.config.dedup {
+                self.tally.deduped += 1;
+                return;
+            }
+            *last = r.time.secs();
+        }
+        let querier = u32::from(r.querier);
+        self.all_queriers.insert(querier);
+
+        let originator = u32::from(r.originator);
+        if let Some(&slot) = self.slot_of.get(&originator) {
+            let accum = &mut self.arena[slot as usize].accum;
+            accum.queries.push((r.time, r.querier));
+            accum.queriers.insert(querier);
+            return;
+        }
+        if self.slot_of.len() >= self.config.max_originators {
+            // Admission control: count in probation first. The
+            // probation table is itself capped — a storm of one-shot
+            // originators otherwise grows it without bound inside a
+            // window — and clears wholesale when full (counts already
+            // credited to `probation_held` move to `probation_dropped`
+            // so the conservation ledger still balances).
+            if self.probation.len() >= self.probation_cap
+                && !self.probation.contains_key(&originator)
+            {
+                let dropped: u64 = self.probation.values().map(|&c| c as u64).sum();
+                self.tally.probation_held -= dropped;
+                self.tally.probation_dropped += dropped;
+                self.tally.probation_resets += 1;
+                self.probation.clear();
+            }
+            let (hits, _) = self.probation.get_or_insert_with(originator, || 0);
+            *hits += 1;
+            if (*hits as usize) < self.config.admission_queries {
+                self.tally.probation_held += 1;
+                return;
+            }
+            self.evict_smallest();
+            self.probation.remove(&originator);
+            self.tally.admitted += 1;
+        }
+        // Admit: recycle a freed slot (keeping its allocations) or
+        // grow the arena.
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.arena.push(Slot::default());
+                (self.arena.len() - 1) as u32
+            }
+        };
+        let s = &mut self.arena[slot as usize];
+        s.occupied = true;
+        s.accum.originator = r.originator;
+        s.accum.queries.push((r.time, r.querier));
+        s.accum.queriers.insert(querier);
+        self.slot_of.insert(originator, slot);
+        self.evict_heap.push(Reverse((1, originator)));
+    }
+
+    /// Evict the tracked originator with the smallest
+    /// `(querier count, address)` — the same victim the reference's
+    /// full-table scan picks — via the lazy heap: pop candidates,
+    /// discard entries for already-evicted originators, refresh
+    /// entries whose footprint has grown since they were pushed, and
+    /// evict the first entry whose recorded count is current. Since
+    /// footprints only grow, a refreshed entry can only move *later*
+    /// in the order, so the first current entry is the true minimum.
+    fn evict_smallest(&mut self) {
+        while let Some(Reverse((count, originator))) = self.evict_heap.pop() {
+            self.heap_pops += 1;
+            let Some(&slot) = self.slot_of.get(&originator) else {
+                continue; // stale: originator already evicted
+            };
+            let current = self.arena[slot as usize].accum.queriers.len();
+            if current != count {
+                self.evict_heap.push(Reverse((current, originator)));
+                continue; // stale: footprint grew since the push
+            }
+            self.slot_of.remove(&originator);
+            let s = &mut self.arena[slot as usize];
+            self.tally.evicted_queries += s.accum.queries.len() as u64;
+            s.accum.queries.clear();
+            s.accum.queriers.clear();
+            s.occupied = false;
+            self.free.push(slot);
+            self.evicted += 1;
+            return;
+        }
+        // Unreachable while the table is full (every tracked
+        // originator keeps at least one heap entry), but harmless: an
+        // empty heap just means there is nothing to evict.
+    }
+}
+
+/// The retained reference implementation of [`StreamingSensor`]: the
+/// original BTree/std-container sensor, kept as the executable
+/// specification the fast path is property-tested against (same
+/// per-originator streams, querier sets, dedup decisions, probation
+/// accounting, and evictions — the eviction victim here is picked by
+/// the seed's O(n) `min_by_key` scan). No telemetry — it defines
+/// behavior, it does not run in production.
+pub struct ReferenceStreamingSensor {
+    config: StreamConfig,
+    probation_cap: usize,
+    window_start: SimTime,
+    per_originator: std::collections::BTreeMap<Ipv4Addr, OriginatorObservation>,
+    probation: std::collections::HashMap<Ipv4Addr, usize>,
+    last_seen: std::collections::HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    all_queriers: std::collections::BTreeSet<Ipv4Addr>,
+    evicted: usize,
+    started: bool,
+}
+
+impl ReferenceStreamingSensor {
+    /// Create a reference sensor; the first record anchors the window.
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(config.window.secs() > 0);
+        assert!(config.max_originators > 0);
+        ReferenceStreamingSensor {
+            probation_cap: config.resolved_probation_cap(),
+            config,
+            window_start: SimTime::ZERO,
+            per_originator: std::collections::BTreeMap::new(),
+            probation: std::collections::HashMap::new(),
+            last_seen: std::collections::HashMap::new(),
+            all_queriers: std::collections::BTreeSet::new(),
+            evicted: 0,
+            started: false,
+        }
+    }
+
+    /// Feed one record; semantics identical to
+    /// [`StreamingSensor::push`].
+    pub fn push(&mut self, r: QueryLogRecord) -> Option<WindowSummary> {
+        if !self.started {
+            self.window_start = SimTime(r.time.secs() - r.time.secs() % self.config.window.secs());
+            self.started = true;
+        }
+        if r.time < self.window_start {
+            return None; // out of order: dropped
         }
         let mut emitted = None;
         if r.time >= self.window_start + self.config.window {
@@ -137,15 +479,12 @@ impl StreamingSensor {
     fn rotate(&mut self, now: SimTime) -> WindowSummary {
         let end = self.window_start + self.config.window;
         let summary = self.take_window(end);
-        // Advance to the window containing `now` (possibly skipping
-        // empty windows).
         let w = self.config.window.secs();
         self.window_start = SimTime(now.secs() - now.secs() % w);
         summary
     }
 
     fn take_window(&mut self, end: SimTime) -> WindowSummary {
-        let _span = bs_telemetry::span("sensor.window_flush");
         let observations = Observations {
             window_start: self.window_start,
             window_end: end,
@@ -155,50 +494,16 @@ impl StreamingSensor {
         self.probation.clear();
         self.last_seen.clear();
         let evicted = std::mem::take(&mut self.evicted);
-        let records = std::mem::take(&mut self.tally_records);
-        let deduped = std::mem::take(&mut self.tally_deduped);
-        let admitted = std::mem::take(&mut self.tally_admitted);
-        let probation = std::mem::take(&mut self.tally_probation);
-        let evicted_queries = std::mem::take(&mut self.tally_evicted_queries);
-        bs_telemetry::counter_add("sensor.stream.records", records);
-        bs_telemetry::counter_add("sensor.stream.dedup_suppressed", deduped);
-        bs_telemetry::counter_add("sensor.stream.admissions", admitted);
-        bs_telemetry::counter_add("sensor.stream.evictions", evicted as u64);
-        if bs_trace::is_enabled() {
-            // Window conservation: every record this window was stored
-            // (and survives in the emitted observations), deduped, held
-            // in probation, or stored-then-lost to an eviction.
-            let kept: u64 =
-                observations.per_originator.values().map(|o| o.queries.len() as u64).sum();
-            let _w = bs_trace::ledger::window_scope(observations.window_start.secs());
-            bs_trace::ledger::record(
-                "sensor.stream",
-                records,
-                &[
-                    ("kept", kept),
-                    ("deduped", deduped),
-                    ("probation_held", probation),
-                    ("evicted_queries", evicted_queries),
-                ],
-            );
-        }
-        bs_telemetry::gauge_set("sensor.window_evicted", evicted as i64);
-        bs_telemetry::gauge_set(
-            "sensor.tracked_originators",
-            observations.per_originator.len() as i64,
-        );
         WindowSummary { window: (self.window_start, end), observations, evicted }
     }
 
     fn ingest(&mut self, r: QueryLogRecord) {
-        self.tally_records += 1;
-        // Dedup identical querier/originator pairs inside the window.
+        use std::collections::btree_map::Entry;
         let key = (r.originator, r.querier);
         match self.last_seen.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 if r.time.since(*e.get()) < self.config.dedup {
-                    self.tally_deduped += 1;
-                    return;
+                    return; // deduped
                 }
                 e.insert(r.time);
             }
@@ -216,27 +521,30 @@ impl StreamingSensor {
             }
             Entry::Vacant(_) => {
                 if self.per_originator.len() >= self.config.max_originators {
+                    // Probation cap: clear wholesale when full and a
+                    // new entry is needed.
+                    if self.probation.len() >= self.probation_cap
+                        && !self.probation.contains_key(&r.originator)
+                    {
+                        self.probation.clear();
+                    }
                     // Admission control: count in probation first.
                     let hits = self.probation.entry(r.originator).or_insert(0);
                     *hits += 1;
                     if *hits < self.config.admission_queries {
-                        self.tally_probation += 1;
-                        return;
+                        return; // held
                     }
-                    // Evict the smallest tracked originator.
+                    // Evict the smallest tracked originator (full scan).
                     if let Some(victim) = self
                         .per_originator
                         .iter()
                         .min_by_key(|(ip, o)| (o.querier_count(), **ip))
                         .map(|(ip, _)| *ip)
                     {
-                        if let Some(gone) = self.per_originator.remove(&victim) {
-                            self.tally_evicted_queries += gone.queries.len() as u64;
-                        }
+                        self.per_originator.remove(&victim);
                         self.evicted += 1;
                     }
                     self.probation.remove(&r.originator);
-                    self.tally_admitted += 1;
                 }
                 let mut o =
                     OriginatorObservation { originator: r.originator, ..Default::default() };
@@ -345,13 +653,12 @@ mod tests {
         sensor.push(rec(62, 3, 2));
         // A single-shot stranger must not evict anyone…
         sensor.push(rec(93, 4, 3));
-        let tracked: Vec<_> = sensor.per_originator.keys().copied().collect();
-        assert_eq!(tracked.len(), 2);
-        assert!(!tracked.contains(&Ipv4Addr::from(0xCB00_0000 | 3)));
+        assert_eq!(sensor.tracked_originators(), 2);
+        assert!(!sensor.is_tracked(Ipv4Addr::from(0xCB00_0000 | 3)));
         // …but a persistent one (3 distinct queriers, spaced) gets in.
         sensor.push(rec(200, 5, 3));
         sensor.push(rec(300, 6, 3));
-        assert!(sensor.per_originator.contains_key(&Ipv4Addr::from(0xCB00_0000 | 3)));
+        assert!(sensor.is_tracked(Ipv4Addr::from(0xCB00_0000 | 3)));
     }
 
     #[test]
@@ -374,7 +681,7 @@ mod tests {
         for o in 1..=3u32 {
             sensor.push(rec(o as u64, o, o));
         }
-        assert_eq!(sensor.per_originator.len(), 3);
+        assert_eq!(sensor.tracked_originators(), 3);
         // Newcomer 10: first visit lands in probation, second evicts.
         sensor.push(rec(100, 10, 10));
         assert_eq!(sensor.evicted, 0, "probation must not evict");
@@ -415,5 +722,124 @@ mod tests {
     fn empty_stream_finishes_empty() {
         let sensor = StreamingSensor::new(StreamConfig::default());
         assert!(sensor.finish().is_none());
+    }
+
+    #[test]
+    fn out_of_order_records_are_counted_and_dropped() {
+        bs_telemetry::enable();
+        let before = bs_telemetry::registry().counter("sensor.stream.out_of_order").get();
+        let cfg = StreamConfig { window: SimDuration::from_secs(100), ..Default::default() };
+        let mut sensor = StreamingSensor::new(cfg);
+        sensor.push(rec(150, 1, 1)); // anchors window [100, 200)
+        assert!(sensor.push(rec(99, 2, 2)).is_none(), "late record must not rotate");
+        assert!(!sensor.is_tracked(Ipv4Addr::from(0xCB00_0000 | 2)), "late record dropped");
+        // A late record must also never be credited to a *new* window
+        // after rotation.
+        let w = sensor.push(rec(250, 3, 3)).expect("rotation");
+        assert_eq!(w.observations.per_originator.len(), 1);
+        sensor.push(rec(201, 4, 4)); // in-window, fine
+        assert!(sensor.push(rec(150, 5, 5)).is_none());
+        assert!(!sensor.is_tracked(Ipv4Addr::from(0xCB00_0000 | 5)));
+        let w = sensor.finish().expect("final window");
+        assert_eq!(w.observations.per_originator.len(), 2);
+        let after = bs_telemetry::registry().counter("sensor.stream.out_of_order").get();
+        assert!(after - before >= 2, "both late records counted (before={before}, after={after})");
+    }
+
+    #[test]
+    fn probation_table_is_capped() {
+        bs_telemetry::enable();
+        let before = bs_telemetry::registry().counter("sensor.stream.probation_resets").get();
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 4,
+            admission_queries: 100, // nothing ever admits: pure probation pressure
+            probation_cap: 16,
+            ..Default::default()
+        };
+        let mut sensor = StreamingSensor::new(cfg);
+        // Fill the tracked table.
+        for o in 0..4u32 {
+            sensor.push(rec(o as u64, o, o));
+        }
+        // A storm of 10 000 distinct one-shot originators: without the
+        // cap the probation table would hold all of them.
+        for o in 0..10_000u32 {
+            sensor.push(rec(100 + o as u64, o % 200, 1000 + o));
+        }
+        assert!(
+            sensor.probation.len() <= 16,
+            "probation table exceeded its cap: {}",
+            sensor.probation.len()
+        );
+        let w = sensor.finish().expect("window");
+        assert_eq!(w.observations.per_originator.len(), 4, "tracked set unaffected by the storm");
+        let after = bs_telemetry::registry().counter("sensor.stream.probation_resets").get();
+        assert!(after > before, "cap resets must be counted");
+    }
+
+    #[test]
+    fn eviction_work_is_sublinear_on_storms() {
+        // Regression for the seed's O(n) full-table eviction scan: a
+        // storm driving thousands of admissions through a large table
+        // must do work proportional to the admissions, not to
+        // admissions × table size. With the lazy heap, each admission
+        // costs a couple of pops (the victim, plus the occasional
+        // stale refresh); the scan it replaced cost `max_originators`
+        // comparisons every time.
+        let max = 2_000usize;
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: max,
+            admission_queries: 2,
+            ..Default::default()
+        };
+        let mut sensor = StreamingSensor::new(cfg);
+        // Fill the table, two queriers per originator so the fill
+        // cohort outranks the storm's singletons. All (originator,
+        // querier) pairs are distinct, so the dedup window never
+        // triggers and the whole run stays inside one day-long window.
+        for o in 0..max as u32 {
+            sensor.push(rec(o as u64, 2 * o, o));
+            sensor.push(rec(o as u64 + 1, 2 * o + 1, o));
+        }
+        // Storm: 4 000 newcomers, each admitted on its second visit.
+        let storm = 4_000u32;
+        for o in 0..storm {
+            let t = 10_000 + o as u64;
+            sensor.push(rec(t, o, 100_000 + o));
+            sensor.push(rec(t + 1, o + 1, 100_000 + o));
+        }
+        let pops = sensor.eviction_heap_pops();
+        let w = sensor.finish().expect("window");
+        assert_eq!(w.evicted, storm as usize, "every storm admission evicts exactly once");
+        // Generous bound: a handful of pops per eviction, independent
+        // of table size. The replaced scan would score 4 000 × 2 000 =
+        // 8 000 000 on this workload's equivalent metric.
+        assert!(
+            pops <= 8 * storm as u64 + max as u64,
+            "lazy heap did too much work: {pops} pops for {storm} evictions"
+        );
+    }
+
+    #[test]
+    fn arena_slots_are_recycled_after_eviction() {
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 8,
+            admission_queries: 1, // every newcomer admits immediately
+            ..Default::default()
+        };
+        let mut sensor = StreamingSensor::new(cfg);
+        for o in 0..1_000u32 {
+            sensor.push(rec(o as u64 * 40, o % 50, o));
+        }
+        assert!(
+            sensor.arena.len() <= 9,
+            "arena must recycle evicted slots, not grow per admission (len={})",
+            sensor.arena.len()
+        );
+        let w = sensor.finish().expect("window");
+        assert!(w.observations.per_originator.len() <= 8);
     }
 }

@@ -17,17 +17,26 @@ cargo clippy -p bs-par --all-targets -- -D warnings
 echo "=== cargo clippy bs-trace (the tracing layer, separately)"
 cargo clippy -p bs-trace --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-fastmap (the ingest hash engine, separately)"
+cargo clippy -p bs-fastmap --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
 
 echo "=== cargo test bs-trace (standalone, zero-dep)"
 cargo test -q -p bs-trace
 
+echo "=== cargo test bs-fastmap (standalone, zero-dep)"
+cargo test -q -p bs-fastmap
+
 echo "=== cargo test (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q
 
 echo "=== cargo test (parallel: default thread count)"
 cargo test -q
+
+echo "=== ingest bench smoke (fast vs reference, one pass per body)"
+cargo bench -q -p bench --bench ingest -- --test >/dev/null
 
 echo "=== CLI smoke: --trace writes parseable Chrome trace JSON"
 trace_tmp="$(mktemp -d)"

@@ -215,7 +215,11 @@ metric naming: dotted crate.stage names, e.g.
   sensor.records             deduplicated records accepted (batch path)
   sensor.dedup_suppressed    records dropped by the 30 s dedup window
   sensor.stream.*            streaming-sensor records/admissions/evictions
+  sensor.stream.out_of_order records predating their window, dropped
+  sensor.stream.probation_resets   probation-cap clears under storm load
   sensor.window_evicted      gauge: evictions in the last flushed window
+  bench.ingest.*             perf_snapshot ingest throughput gauges
+                             (records/sec, fast path vs BTree reference)
   ml.trees_built, ml.fits    learner effort
   classify.models_trained    windows with a trainable label set
   core.curate/.retrain/.classify   per-stage latency histograms (ns)
