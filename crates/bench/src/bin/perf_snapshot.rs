@@ -28,6 +28,19 @@
 //! the log size). Fast and reference outputs are asserted equal before
 //! any number is recorded.
 //!
+//! Likewise the ML layer: `bench.ml.*` gauges time the `bs-mlcore`
+//! columnar fast paths against their retained references on a
+//! B-root-window-sized training set, single-threaded so the ratios
+//! measure the algorithms rather than the pool
+//! (`bench.ml.forest_fit_fast_rps` vs `bench.ml.forest_fit_reference_rps`
+//! in training rows/second, `bench.ml.svm_fit_fast_rps` vs
+//! `bench.ml.svm_fit_reference_rps`, and
+//! `bench.ml.forest_predict_batch_rps` vs
+//! `bench.ml.forest_predict_scalar_rps` in predictions/second). Fast
+//! and reference models are asserted bit-identical — equal persisted
+//! bytes for the forests, equal machines for the SVMs — before any
+//! number is recorded.
+//!
 //! ```bash
 //! cargo run --release -p bench --bin perf_snapshot
 //! ```
@@ -70,7 +83,7 @@ fn ingest_log() -> QueryLog {
 }
 
 /// Records/second over one timed run of `f`.
-fn rps(records: usize, f: impl FnOnce() -> usize) -> (i64, usize) {
+fn rps<T>(records: usize, f: impl FnOnce() -> T) -> (i64, T) {
     let t0 = Instant::now();
     let out = f();
     let secs = t0.elapsed().as_secs_f64();
@@ -141,6 +154,64 @@ fn ingest_throughput() -> [(&'static str, i64); 5] {
     ]
 }
 
+/// ML training/prediction throughput, columnar fast paths vs retained
+/// references, on a fixed-seed dataset shaped like one B-root window
+/// (≈600 originators × 22 features × 12 classes). Runs single-threaded
+/// (the caller pins the pool) so the ratio isolates the algorithmic
+/// speedup. Asserts bit-identical models before recording anything.
+fn ml_throughput() -> [(&'static str, i64); 7] {
+    use backscatter_core::ml::{Dataset, Forest, ForestParams, Sample, Svm, SvmParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const ROWS: usize = 2400;
+    let mut rng = StdRng::seed_from_u64(0xB007);
+    let mut data = Dataset::new(
+        (0..22).map(|i| format!("f{i}")).collect(),
+        (0..12).map(|i| format!("c{i}")).collect(),
+    );
+    for _ in 0..ROWS {
+        let label = rng.gen_range(0..12usize);
+        let features: Vec<f64> = (0..22)
+            .map(|j| {
+                let signal = if j % 12 == label { 1.0 } else { 0.0 };
+                signal + rng.gen_range(-0.3..0.3)
+            })
+            .collect();
+        data.push(Sample { features, label });
+    }
+
+    let fp = ForestParams { n_trees: 30, ..ForestParams::default() };
+    let (forest_fast_rps, fast_forest) = rps(ROWS, || Forest::fit(&data, &fp, 7));
+    let (forest_ref_rps, ref_forest) = rps(ROWS, || Forest::fit_reference(&data, &fp, 7));
+    assert_eq!(
+        fast_forest.to_text(),
+        ref_forest.to_text(),
+        "columnar forest must persist byte-identically to the reference"
+    );
+
+    let sp = SvmParams { max_iters: 30, ..SvmParams::default() };
+    let (svm_fast_rps, fast_svm) = rps(ROWS, || Svm::fit(&data, &sp, 7));
+    let (svm_ref_rps, ref_svm) = rps(ROWS, || Svm::fit_reference(&data, &sp, 7));
+    assert_eq!(fast_svm, ref_svm, "Gram-cached SVM must equal the reference bit for bit");
+
+    let xs: Vec<Vec<f64>> = data.samples.iter().map(|s| s.features.clone()).collect();
+    let (predict_batch_rps, batch) = rps(xs.len(), || fast_forest.predict_all(&xs));
+    let (predict_scalar_rps, scalar) =
+        rps(xs.len(), || xs.iter().map(|x| fast_forest.predict(x)).collect::<Vec<_>>());
+    assert_eq!(batch, scalar, "batch prediction must equal per-row prediction");
+
+    [
+        ("bench.ml.rows", ROWS as i64),
+        ("bench.ml.forest_fit_fast_rps", forest_fast_rps),
+        ("bench.ml.forest_fit_reference_rps", forest_ref_rps),
+        ("bench.ml.svm_fit_fast_rps", svm_fast_rps),
+        ("bench.ml.svm_fit_reference_rps", svm_ref_rps),
+        ("bench.ml.forest_predict_batch_rps", predict_batch_rps),
+        ("bench.ml.forest_predict_scalar_rps", predict_scalar_rps),
+    ]
+}
+
 fn main() {
     let world = backscatter_core::netsim::world::World::new(WorldConfig::default());
 
@@ -151,6 +222,13 @@ fn main() {
     // window-flush counters from the synthetic log don't leak into the
     // pipeline snapshot below.
     let ingest_gauges = ingest_throughput();
+
+    // ML throughput, also while telemetry is off, pinned to one thread
+    // so the fast/reference ratios measure the algorithms, not the
+    // pool. Restore the default width afterwards.
+    backscatter_core::par::set_threads(1);
+    let ml_gauges = ml_throughput();
+    backscatter_core::par::set_threads(0);
 
     let t0 = Instant::now();
     let classified_off = run_pipeline(&world);
@@ -209,6 +287,11 @@ fn main() {
     // Ingest-engine throughput: records/second, `bs-fastmap` fast path
     // vs the retained BTree reference, batch and streaming.
     for (name, value) in ingest_gauges {
+        backscatter_core::telemetry::gauge_set(name, value);
+    }
+    // ML throughput: rows/second trained (and rows/second classified),
+    // `bs-mlcore` columnar fast paths vs the retained references.
+    for (name, value) in ml_gauges {
         backscatter_core::telemetry::gauge_set(name, value);
     }
 

@@ -98,12 +98,29 @@ impl TrainedClassifier {
 
     /// Classify every originator in a feature map.
     ///
-    /// Originators classify independently and in parallel; the result
-    /// map is identical at any thread count (it is keyed, and each
-    /// prediction depends only on its own feature vector).
+    /// Originators classify in parallel chunks, each chunk served by
+    /// the ensemble's batch path (every tree arena streams once per
+    /// chunk instead of once per originator). The result map is
+    /// identical at any thread count (it is keyed, and each prediction
+    /// depends only on its own feature vector).
     pub fn classify_all(&self, features: &FeatureMap) -> BTreeMap<Ipv4Addr, ApplicationClass> {
         let entries: Vec<(&Ipv4Addr, &FeatureVector)> = features.iter().collect();
-        bs_par::par_map(&entries, |_, (ip, fv)| (**ip, self.classify(fv))).into_iter().collect()
+        bs_par::par_chunks(&entries, 64, |_, chunk| {
+            let xs: Vec<Vec<f64>> = chunk.iter().map(|(_, fv)| fv.to_vec()).collect();
+            chunk
+                .iter()
+                .zip(self.ensemble.predict_all(&xs))
+                .map(|((ip, _), idx)| {
+                    (
+                        **ip,
+                        ApplicationClass::from_index(idx).expect("model trained on class schema"),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 

@@ -48,7 +48,7 @@ pub fn repeated_holdout(
         }
         let ensemble = MajorityEnsemble::fit(algorithm, &train, runs_per_fit, rep_seed);
         let (xs, truth) = test.xy();
-        let predicted: Vec<usize> = xs.iter().map(|x| ensemble.predict(x)).collect();
+        let predicted = ensemble.predict_all(&xs);
         let cm = ConfusionMatrix::from_predictions(data.n_classes(), &truth, &predicted);
         Some(cm.metrics())
     });
@@ -98,7 +98,7 @@ pub fn k_fold(algorithm: &Algorithm, data: &Dataset, k: usize, seed: u64) -> Hol
         }
         let ensemble = MajorityEnsemble::fit(algorithm, &train, runs_per_fit, seed ^ fold as u64);
         let (xs, truth) = test.xy();
-        let predicted: Vec<usize> = xs.iter().map(|x| ensemble.predict(x)).collect();
+        let predicted = ensemble.predict_all(&xs);
         let cm = ConfusionMatrix::from_predictions(data.n_classes(), &truth, &predicted);
         Some(cm.metrics())
     });

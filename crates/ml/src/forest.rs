@@ -8,7 +8,8 @@
 //! discriminative power").
 
 use crate::dataset::Dataset;
-use crate::tree::{CartParams, DecisionTree};
+use crate::tree::{CartParams, DecisionTree, ReferenceTree};
+use bs_mlcore::argmax_first;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -54,6 +55,20 @@ impl Forest {
     /// bit-identical at every thread count, and importances accumulate
     /// in tree order after training so the float sum is too.
     pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> Self {
+        bs_telemetry::counter_add("ml.fit.forest", 1);
+        Self::fit_impl(data, params, seed, false)
+    }
+
+    /// Train every tree through the retained boxed-node
+    /// [`ReferenceTree`] grower instead of the columnar fast path.
+    /// Bit-identical to [`Forest::fit`] for the same data and seed
+    /// (identical RNG draws, identical importance accumulation);
+    /// kept as the executable specification for the equivalence suite.
+    pub fn fit_reference(data: &Dataset, params: &ForestParams, seed: u64) -> Self {
+        Self::fit_impl(data, params, seed, true)
+    }
+
+    fn fit_impl(data: &Dataset, params: &ForestParams, seed: u64, reference: bool) -> Self {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(params.n_trees >= 1);
         let d = data.n_features();
@@ -70,7 +85,11 @@ impl Forest {
             let indices: Vec<usize> =
                 (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
             let tree_seed: u64 = rng.gen();
-            DecisionTree::fit_on_indices(data, &indices, &tree_params, tree_seed)
+            if reference {
+                ReferenceTree::fit_on_indices(data, &indices, &tree_params, tree_seed).flatten()
+            } else {
+                DecisionTree::fit_on_indices(data, &indices, &tree_params, tree_seed)
+            }
         });
         let mut raw = vec![0.0; d];
         for tree in &trees {
@@ -85,18 +104,29 @@ impl Forest {
     }
 
     /// Predict by majority vote over the trees (ties break toward the
-    /// smaller class index, deterministically).
+    /// smaller class index, explicitly first-max).
     pub fn predict(&self, x: &[f64]) -> usize {
         let mut votes = vec![0usize; self.n_classes];
         for t in &self.trees {
             votes[t.predict(x)] += 1;
         }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| **v)
-            .map(|(i, _)| i)
-            .expect("at least one class")
+        argmax_first(&votes)
+    }
+
+    /// Predict a batch: one reused vote buffer across the whole batch,
+    /// so unlike per-row [`Forest::predict`] calls nothing is allocated
+    /// inside the loop.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        let mut votes = vec![0u32; self.n_classes];
+        xs.iter()
+            .map(|x| {
+                votes.fill(0);
+                for t in &self.trees {
+                    votes[t.predict(x)] += 1;
+                }
+                argmax_first(&votes)
+            })
+            .collect()
     }
 
     /// Normalized Gini importances (sum to 1 when any split occurred).
@@ -216,6 +246,31 @@ mod tests {
         assert_eq!(f.n_trees(), 1);
         let correct = train.samples.iter().filter(|s| f.predict(&s.features) == s.label).count();
         assert!(correct * 10 > train.len() * 7);
+    }
+
+    #[test]
+    fn fast_path_matches_reference() {
+        let train = blobs(7, 25);
+        let p = ForestParams { n_trees: 8, ..ForestParams::default() };
+        let fast = Forest::fit(&train, &p, 13);
+        let reference = Forest::fit_reference(&train, &p, 13);
+        assert_eq!(fast.importances(), reference.importances(), "bitwise importances");
+        for s in &train.samples {
+            assert_eq!(fast.predict(&s.features), reference.predict(&s.features));
+        }
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let train = blobs(8, 25);
+        let p = ForestParams { n_trees: 10, ..ForestParams::default() };
+        let f = Forest::fit(&train, &p, 3);
+        let xs: Vec<Vec<f64>> = train.samples.iter().map(|s| s.features.clone()).collect();
+        let batch = f.predict_all(&xs);
+        for (x, b) in xs.iter().zip(&batch) {
+            assert_eq!(f.predict(x), *b);
+        }
+        assert!(f.predict_all(&[]).is_empty());
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   ("for non-deterministic algorithms we run each 10 times and take
 //!   the majority classification").
 //!
+//! Training and prediction run on the `bs-mlcore` columnar fast paths
+//! (presorted-index CART, flat tree arenas, Gram-cached SMO); the
+//! original boxed/nested implementations are retained as executable
+//! references ([`tree::ReferenceTree`], [`Forest::fit_reference`],
+//! [`Svm::fit_reference`]) and the equivalence suite proves the fast
+//! paths bit-identical to them (DESIGN.md §12).
+//!
 //! Everything is deterministic given a seed.
 
 #![forbid(unsafe_code)]
@@ -39,7 +46,7 @@ pub use dataset::{Dataset, Sample};
 pub use forest::{Forest, ForestParams};
 pub use metrics::{ConfusionMatrix, Metrics};
 pub use svm::{Svm, SvmParams};
-pub use tree::{CartParams, DecisionTree};
+pub use tree::{CartParams, DecisionTree, ReferenceTree};
 pub use vote::MajorityEnsemble;
 
 use serde::{Deserialize, Serialize};
@@ -102,8 +109,16 @@ impl Model {
         }
     }
 
-    /// Predict class indices for many feature vectors.
+    /// Predict class indices for many feature vectors, dispatching to
+    /// each model family's batch path (the forest streams every tree
+    /// arena once over the whole batch).
     pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        bs_telemetry::counter_add("ml.predict.batches", 1);
+        bs_telemetry::counter_add("ml.predict.samples", xs.len() as u64);
+        match self {
+            Model::Cart(m) => m.predict_all(xs),
+            Model::Forest(m) => m.predict_all(xs),
+            Model::Svm(m) => m.predict_all(xs),
+        }
     }
 }

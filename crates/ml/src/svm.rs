@@ -7,8 +7,27 @@
 //! standardized internally (zero mean, unit variance on the training
 //! data) because RBF distances are scale-sensitive and the sensor's
 //! features mix fractions with counts.
+//!
+//! Two solvers live here (DESIGN.md §12):
+//!
+//! * [`Svm::fit`] — the **fast path**: scaled rows in one flat
+//!   [`RowMatrix`], the kernel behind a [`bs_mlcore::GramCache`]
+//!   (flat symmetric matrix below [`SvmParams::gram_limit`] rows,
+//!   bounded lazy row cache above it), and decision sums driven by a
+//!   sorted support-index list so each KKT scan costs
+//!   `O(|support|)` contiguous reads instead of an `O(n)` skip-scan
+//!   over nested `Vec`s.
+//! * [`Svm::fit_reference`] — the retained reference: per-pair
+//!   `Vec<Vec<f64>>` Gram matrix and the textbook decision recompute.
+//!
+//! Every restructuring in the fast path is *exact*: the same kernel
+//! bits, the same addition order (support indices ascend exactly like
+//! the reference's skip-zero scan), the same RNG consumption. Property
+//! tests (`crates/ml/tests/mlcore_equivalence.rs`) assert the two fits
+//! produce equal machines, not merely similar accuracy.
 
 use crate::dataset::Dataset;
+use bs_mlcore::{argmax_first, GramCache, RowMatrix};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -27,20 +46,32 @@ pub struct SvmParams {
     pub max_passes: usize,
     /// Hard cap on optimization sweeps.
     pub max_iters: usize,
+    /// Largest pairwise problem (rows) whose Gram matrix is fully
+    /// materialized; larger problems fall back to a bounded row cache
+    /// with the same memory budget (`gram_limit²` floats).
+    pub gram_limit: usize,
 }
 
 impl Default for SvmParams {
     fn default() -> Self {
-        SvmParams { c: 10.0, gamma: 0.5, tol: 1e-3, max_passes: 5, max_iters: 200 }
+        SvmParams {
+            c: 10.0,
+            gamma: 0.5,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 200,
+            gram_limit: 2048,
+        }
     }
 }
 
 /// One trained binary classifier (class_a vs class_b).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct BinarySvm {
     class_a: usize,
     class_b: usize,
-    support_x: Vec<Vec<f64>>,
+    /// Support vectors, flat row-major.
+    support_x: RowMatrix,
     /// alpha_i * y_i for each support vector.
     coef: Vec<f64>,
     bias: f64,
@@ -50,8 +81,8 @@ struct BinarySvm {
 impl BinarySvm {
     fn decision(&self, x: &[f64]) -> f64 {
         let mut s = self.bias;
-        for (sv, c) in self.support_x.iter().zip(&self.coef) {
-            s += c * rbf(sv, x, self.gamma);
+        for (i, c) in self.coef.iter().enumerate() {
+            s += c * rbf(self.support_x.row(i), x, self.gamma);
         }
         s
     }
@@ -63,7 +94,7 @@ fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
 }
 
 /// A trained multi-class (one-vs-one) RBF SVM.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Svm {
     machines: Vec<BinarySvm>,
     n_classes: usize,
@@ -76,13 +107,79 @@ pub struct Svm {
 }
 
 impl Svm {
-    /// Train on `data` with the given seed (SMO visits pairs randomly).
+    /// Train on `data` with the given seed (SMO visits pairs randomly),
+    /// via the kernel-cached fast solver.
     pub fn fit(data: &Dataset, params: &SvmParams, seed: u64) -> Self {
+        bs_telemetry::counter_add("ml.fit.svm", 1);
         assert!(!data.is_empty(), "cannot fit an SVM on an empty dataset");
         let n = data.len();
         let d = data.n_features();
 
-        // Standardize.
+        // Standardize. Column-major accumulation; each column holds the
+        // samples in dataset order, so every per-feature float sum adds
+        // the same terms in the same order as the reference's
+        // sample-major loop.
+        let all: Vec<usize> = (0..n).collect();
+        let view = data.columnar(&all);
+        let mut means = vec![0.0; d];
+        for (m, col) in means.iter_mut().zip((0..d).map(|f| view.col(f))) {
+            for v in col {
+                *m += v;
+            }
+            *m /= n as f64;
+        }
+        let mut stds = vec![0.0; d];
+        for ((sd, col), m) in stds.iter_mut().zip((0..d).map(|f| view.col(f))).zip(&means) {
+            for v in col {
+                *sd += (v - m) * (v - m);
+            }
+            *sd = (*sd / n as f64).sqrt();
+            if *sd < 1e-12 {
+                *sd = 1.0; // constant feature: leave centered at zero
+            }
+        }
+        let mut x = RowMatrix::new(d);
+        let mut buf = vec![0.0; d];
+        for s in &data.samples {
+            for (o, ((v, m), sd)) in buf.iter_mut().zip(s.features.iter().zip(&means).zip(&stds)) {
+                *o = (v - m) / sd;
+            }
+            x.push_row(&buf);
+        }
+
+        let present = data.present_classes();
+        let default_class = *present.first().expect("non-empty data has a class");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut machines = Vec::new();
+        for (i, &ca) in present.iter().enumerate() {
+            for &cb in &present[i + 1..] {
+                let idx: Vec<usize> = (0..n)
+                    .filter(|&k| data.samples[k].label == ca || data.samples[k].label == cb)
+                    .collect();
+                let y: Vec<f64> = idx
+                    .iter()
+                    .map(|&k| if data.samples[k].label == ca { 1.0 } else { -1.0 })
+                    .collect();
+                let xs = x.select(&idx);
+                if let Some(m) = smo_fast(&xs, &y, ca, cb, params, &mut rng) {
+                    machines.push(m);
+                }
+            }
+        }
+        bs_telemetry::counter_add("ml.fit.svm_machines", machines.len() as u64);
+        Svm { machines, n_classes: data.n_classes(), n_features: d, means, stds, default_class }
+    }
+
+    /// Train via the retained reference solver (per-pair nested-`Vec`
+    /// Gram matrix, textbook decision recompute). Bit-identical to
+    /// [`Svm::fit`] for the same data and seed; kept as the executable
+    /// specification the fast path is property-tested against.
+    pub fn fit_reference(data: &Dataset, params: &SvmParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit an SVM on an empty dataset");
+        let n = data.len();
+        let d = data.n_features();
+
+        // Standardize (sample-major accumulation).
         let mut means = vec![0.0; d];
         for s in &data.samples {
             for (m, v) in means.iter_mut().zip(&s.features) {
@@ -123,7 +220,7 @@ impl Svm {
                     .map(|&k| if data.samples[k].label == ca { 1.0 } else { -1.0 })
                     .collect();
                 let xs: Vec<&Vec<f64>> = idx.iter().map(|&k| &x[k]).collect();
-                if let Some(m) = smo(&xs, &y, ca, cb, params, &mut rng) {
+                if let Some(m) = smo_reference(&xs, &y, ca, cb, params, &mut rng) {
                     machines.push(m);
                 }
             }
@@ -131,7 +228,8 @@ impl Svm {
         Svm { machines, n_classes: data.n_classes(), n_features: d, means, stds, default_class }
     }
 
-    /// Predict by one-vs-one voting; ties break to the smaller index.
+    /// Predict by one-vs-one voting; ties break to the smaller index
+    /// (explicitly first-max, see [`argmax_first`]).
     pub fn predict(&self, xraw: &[f64]) -> usize {
         assert_eq!(xraw.len(), self.n_features, "feature arity mismatch");
         if self.machines.is_empty() {
@@ -147,7 +245,12 @@ impl Svm {
                 votes[m.class_b] += 1;
             }
         }
-        votes.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).expect("classes exist")
+        argmax_first(&votes)
+    }
+
+    /// Predict a batch of feature vectors.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
     }
 
     /// Number of pairwise machines trained.
@@ -156,9 +259,159 @@ impl Svm {
     }
 }
 
+/// Update one Lagrange multiplier, keeping the coefficient array and
+/// the sorted support-index list in sync. The support list mirrors the
+/// reference solver's "skip exact zeros" rule (`alpha != 0.0`), so the
+/// fast decision sum visits exactly the indices the reference visits,
+/// ascending.
+fn set_alpha(
+    alpha: &mut [f64],
+    coef: &mut [f64],
+    support: &mut Vec<u32>,
+    y: &[f64],
+    i: usize,
+    v: f64,
+) {
+    let was = alpha[i] != 0.0;
+    alpha[i] = v;
+    coef[i] = v * y[i];
+    let is = v != 0.0;
+    if is != was {
+        match (is, support.binary_search(&(i as u32))) {
+            (true, Err(pos)) => support.insert(pos, i as u32),
+            (false, Ok(pos)) => {
+                support.remove(pos);
+            }
+            _ => unreachable!("support list out of sync with alphas"),
+        }
+    }
+}
+
+/// The decision value at training row `i`: `b + Σ_j coef[j]·K(j, i)`
+/// over the sorted support list. Equal to the reference's skip-zero
+/// scan bit for bit: same indices, same ascending order, and
+/// `K(i, j) == K(j, i)` as bits for the (symmetric) RBF kernel.
+fn decision_at<F: Fn(usize, usize) -> f64>(
+    k: &mut GramCache<F>,
+    support: &[u32],
+    coef: &[f64],
+    b: f64,
+    i: usize,
+) -> f64 {
+    let row = k.row(i);
+    let mut s = b;
+    for &j in support {
+        s += coef[j as usize] * row[j as usize];
+    }
+    s
+}
+
+/// Simplified SMO over a [`GramCache`] — the fast path. Control flow,
+/// float expressions and RNG draws mirror [`smo_reference`] exactly.
+fn smo_fast(
+    xs: &RowMatrix,
+    y: &[f64],
+    class_a: usize,
+    class_b: usize,
+    p: &SvmParams,
+    rng: &mut StdRng,
+) -> Option<BinarySvm> {
+    let n = xs.rows();
+    if n < 2 || y.iter().all(|&v| v == y[0]) {
+        return None; // degenerate pair; voting just skips it
+    }
+    let gamma = p.gamma;
+    // Above the full-matrix limit, cap cached rows so lazy-mode memory
+    // never exceeds the full-matrix budget of `gram_limit²` floats.
+    let row_cap = ((p.gram_limit * p.gram_limit) / n.max(1)).max(8);
+    let mut k = GramCache::new(n, p.gram_limit, row_cap, |i, j| rbf(xs.row(i), xs.row(j), gamma));
+
+    let mut alpha = vec![0.0; n];
+    let mut coef = vec![0.0; n];
+    let mut support: Vec<u32> = Vec::new();
+    let mut b = 0.0;
+
+    let mut passes = 0;
+    let mut iters = 0;
+    while passes < p.max_passes && iters < p.max_iters {
+        iters += 1;
+        let mut changed = 0;
+        for i in 0..n {
+            let ei = decision_at(&mut k, &support, &coef, b, i) - y[i];
+            if (y[i] * ei < -p.tol && alpha[i] < p.c) || (y[i] * ei > p.tol && alpha[i] > 0.0) {
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                // Fetch row-i scalars before touching row j: in lazy
+                // mode both may share the scratch buffer.
+                let (kii, kij) = {
+                    let r = k.row(i);
+                    (r[i], r[j])
+                };
+                let (ej, kjj) = {
+                    let r = k.row(j);
+                    let mut s = b;
+                    for &q in &support {
+                        s += coef[q as usize] * r[q as usize];
+                    }
+                    (s - y[j], r[j])
+                };
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if y[i] != y[j] {
+                    ((aj_old - ai_old).max(0.0), (p.c + aj_old - ai_old).min(p.c))
+                } else {
+                    ((ai_old + aj_old - p.c).max(0.0), (ai_old + aj_old).min(p.c))
+                };
+                if lo >= hi {
+                    continue;
+                }
+                let eta = 2.0 * kij - kii - kjj;
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                set_alpha(&mut alpha, &mut coef, &mut support, y, i, ai);
+                set_alpha(&mut alpha, &mut coef, &mut support, y, j, aj);
+                let b1 = b - ei - y[i] * (ai - ai_old) * kii - y[j] * (aj - aj_old) * kij;
+                let b2 = b - ej - y[i] * (ai - ai_old) * kij - y[j] * (aj - aj_old) * kjj;
+                b = if 0.0 < ai && ai < p.c {
+                    b1
+                } else if 0.0 < aj && aj < p.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+    }
+
+    let mut support_x = RowMatrix::new(xs.dim());
+    let mut out_coef = Vec::new();
+    for i in 0..n {
+        if alpha[i] > 1e-8 {
+            support_x.push_row(xs.row(i));
+            out_coef.push(alpha[i] * y[i]);
+        }
+    }
+    Some(BinarySvm { class_a, class_b, support_x, coef: out_coef, bias: b, gamma: p.gamma })
+}
+
 /// Simplified SMO (Platt, 1998; the CS229 variant): optimize pairs of
-/// Lagrange multipliers until `max_passes` sweeps see no change.
-fn smo(
+/// Lagrange multipliers until `max_passes` sweeps see no change. The
+/// retained reference solver.
+fn smo_reference(
     xs: &[&Vec<f64>],
     y: &[f64],
     class_a: usize,
@@ -244,11 +497,11 @@ fn smo(
         }
     }
 
-    let mut support_x = Vec::new();
+    let mut support_x = RowMatrix::new(xs[0].len());
     let mut coef = Vec::new();
     for i in 0..n {
         if alpha[i] > 1e-8 {
-            support_x.push(xs[i].clone());
+            support_x.push_row(xs[i]);
             coef.push(alpha[i] * y[i]);
         }
     }
@@ -329,9 +582,29 @@ mod tests {
         let train = ring_dataset(6, 40);
         let m1 = Svm::fit(&train, &SvmParams::default(), 42);
         let m2 = Svm::fit(&train, &SvmParams::default(), 42);
+        assert_eq!(m1, m2, "same seed, bit-identical machines");
         for s in &train.samples {
             assert_eq!(m1.predict(&s.features), m2.predict(&s.features));
         }
+    }
+
+    #[test]
+    fn fast_path_matches_reference() {
+        let train = ring_dataset(8, 30);
+        for seed in [0, 7, 42] {
+            let fast = Svm::fit(&train, &SvmParams::default(), seed);
+            let reference = Svm::fit_reference(&train, &SvmParams::default(), seed);
+            assert_eq!(fast, reference, "bit-identical machines at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lazy_row_cache_matches_full_gram() {
+        let train = ring_dataset(9, 30);
+        let full = Svm::fit(&train, &SvmParams::default(), 3);
+        // Force lazy mode: every pairwise problem exceeds gram_limit=4.
+        let lazy = Svm::fit(&train, &SvmParams { gram_limit: 4, ..SvmParams::default() }, 3);
+        assert_eq!(full, lazy, "cache mode must not change the trained machines");
     }
 
     #[test]
@@ -343,5 +616,42 @@ mod tests {
         let m = Svm::fit(&d, &SvmParams::default(), 0);
         assert!(m.predict(&[0.0, 7.0]) == 0);
         assert!(m.predict(&[19.0, 7.0]) == 1);
+    }
+
+    /// Regression for the documented tie-break: with votes tied across
+    /// classes, `predict` must return the smaller class index. The old
+    /// `max_by_key` picked the *last* maximum.
+    #[test]
+    fn vote_tie_breaks_to_smaller_class_index() {
+        let stump = |class_a: usize, class_b: usize, bias: f64| BinarySvm {
+            class_a,
+            class_b,
+            support_x: RowMatrix::new(1),
+            coef: Vec::new(),
+            bias,
+            gamma: 0.5,
+        };
+        let svm = Svm {
+            // Machine 1 votes for class 0 (decision = +1), machine 2
+            // votes for class 2 (decision = -1): votes are [1, 0, 1].
+            machines: vec![stump(0, 1, 1.0), stump(1, 2, -1.0)],
+            n_classes: 3,
+            n_features: 1,
+            means: vec![0.0],
+            stds: vec![1.0],
+            default_class: 0,
+        };
+        assert_eq!(svm.predict(&[0.0]), 0, "0-vs-2 tie must go to class 0");
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let train = ring_dataset(10, 20);
+        let m = Svm::fit(&train, &SvmParams::default(), 1);
+        let xs: Vec<Vec<f64>> = train.samples.iter().map(|s| s.features.clone()).collect();
+        let batch = m.predict_all(&xs);
+        for (x, b) in xs.iter().zip(&batch) {
+            assert_eq!(m.predict(x), *b);
+        }
     }
 }

@@ -4,8 +4,30 @@
 //! weighted Gini impurity, with the usual stopping controls. The same
 //! implementation serves stand-alone CART and the forest's base
 //! learners (which add per-split feature subsampling).
+//!
+//! Two implementations live here (DESIGN.md §12):
+//!
+//! * [`DecisionTree`] — the **columnar fast path**: training reads a
+//!   [`bs_mlcore::ColumnarView`] over the deduplicated, weighted
+//!   bootstrap rows, arg-sorts every feature column once per fit and
+//!   maintains per-node index segments by stable in-place partition
+//!   (`O(features · n log n + nodes · features · n)` instead of the
+//!   reference's `O(nodes · features · n log n)`) while many features
+//!   are candidates, switching to node-local candidate sorts below a
+//!   cost crossover; the grown tree is a [`bs_mlcore::FlatTree`] arena
+//!   with iterative `predict`.
+//! * [`ReferenceTree`] — the retained boxed-node reference: per-node
+//!   re-sorting, `Box` recursion. Property tests
+//!   (`crates/ml/tests/mlcore_equivalence.rs`) prove the fast path
+//!   produces bit-identical splits, importances and predictions.
+//!
+//! Both share the split-quality arithmetic ([`gini`] in integer
+//! sum-of-squares form) and the RNG discipline (one feature shuffle
+//! per candidate node, pre-order), which is what makes bit-equality
+//! achievable rather than merely approximate.
 
 use crate::dataset::Dataset;
+use bs_mlcore::{argmax_first, ColumnarView, FlatTree, PresortedColumns, LEAF};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -31,16 +53,16 @@ impl Default for CartParams {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf { class: usize },
     Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
-/// A trained CART classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A trained CART classifier (flat-arena representation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTree {
-    root: Node,
+    flat: FlatTree,
     n_classes: usize,
     n_features: usize,
     /// Total Gini-impurity decrease attributed to each feature during
@@ -50,14 +72,178 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
-    /// Grow a tree on `data`. The seed only matters when
-    /// `max_features` subsampling is active.
+    /// Grow a tree on `data` via the columnar fast path. The seed only
+    /// matters when `max_features` subsampling is active.
     pub fn fit(data: &Dataset, params: &CartParams, seed: u64) -> Self {
+        bs_telemetry::counter_add("ml.fit.cart", 1);
         Self::fit_on_indices(data, &(0..data.len()).collect::<Vec<_>>(), params, seed)
     }
 
     /// Grow on a subset of sample indices (bootstrap support for the
-    /// forest).
+    /// forest; duplicate indices are distinct training rows).
+    pub fn fit_on_indices(
+        data: &Dataset,
+        indices: &[usize],
+        params: &CartParams,
+        seed: u64,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        assert!(data.n_classes() >= 1);
+        let (view, weights) = data.columnar_weighted(indices);
+        let mut grower = ColumnarGrower {
+            presort: None,
+            view: &view,
+            params,
+            weights: &weights,
+            n_classes: data.n_classes(),
+            rng: StdRng::seed_from_u64(seed),
+            importances: vec![0.0; data.n_features()],
+            flat: FlatTree::new(),
+        };
+        // Arg-sorting every column only pays when the root itself will
+        // grow in global mode; a node-local root never reads it.
+        if view.n_features() > 0 && !grower.local_mode(view.rows()) {
+            grower.presort = Some(PresortedColumns::new(&view));
+        }
+        grower.grow(0, view.rows(), 0);
+        bs_telemetry::counter_add("ml.fit.nodes", grower.flat.len() as u64);
+        DecisionTree {
+            flat: grower.flat,
+            n_classes: data.n_classes(),
+            n_features: data.n_features(),
+            importances: grower.importances,
+        }
+    }
+
+    /// Predict the class of one feature vector (iterative descent, no
+    /// pointer chasing).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.n_features, "feature arity mismatch");
+        self.flat.predict(x) as usize
+    }
+
+    /// Predict many feature vectors in one pass over the arena.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        for x in xs {
+            assert_eq!(x.len(), self.n_features, "feature arity mismatch");
+        }
+        self.flat.predict_all(xs).into_iter().map(|c| c as usize).collect()
+    }
+
+    /// Raw (unnormalized) per-feature impurity decreases.
+    pub fn raw_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Tree depth (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        self.flat.depth()
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.flat.leaves()
+    }
+
+    /// Write the tree's nodes in pre-order (`S <feature> <threshold>` /
+    /// `L <class>` lines) for the persistence format. The arena is
+    /// already pre-order, so this is a linear scan — the wire format is
+    /// unchanged from the boxed representation.
+    pub(crate) fn write_nodes(&self, out: &mut String) {
+        for node in self.flat.nodes() {
+            if node.feature == LEAF {
+                out.push_str(&format!("L {}\n", node.right));
+            } else {
+                out.push_str(&format!("S {} {:x}\n", node.feature, node.threshold.to_bits()));
+            }
+        }
+    }
+
+    /// Rebuild a tree from pre-order node lines (persistence format),
+    /// unflattening directly into the arena. Raw importances are not
+    /// persisted per tree (the forest stores the aggregate), so they
+    /// reload as zeros.
+    pub(crate) fn read_nodes<'a>(
+        lines: &mut impl Iterator<Item = (usize, &'a str)>,
+        n_classes: usize,
+        n_features: usize,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        fn rec<'a>(
+            lines: &mut impl Iterator<Item = (usize, &'a str)>,
+            n_classes: usize,
+            n_features: usize,
+            depth: usize,
+            flat: &mut FlatTree,
+        ) -> Result<(), PersistError> {
+            let e = |line: usize, what: String| PersistError { line, what };
+            if depth > 64 {
+                return Err(e(0, "tree deeper than 64: refusing".to_string()));
+            }
+            let (ln, line) =
+                lines.next().ok_or_else(|| e(0, "unexpected end of input in tree".to_string()))?;
+            let mut f = line.split_whitespace();
+            match f.next() {
+                Some("L") => {
+                    let class: usize = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| e(ln, format!("bad leaf {line:?}")))?;
+                    if class >= n_classes {
+                        return Err(e(ln, format!("leaf class {class} out of range")));
+                    }
+                    flat.push_leaf(class as u32);
+                    Ok(())
+                }
+                Some("S") => {
+                    let feature: usize = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| e(ln, format!("bad split {line:?}")))?;
+                    if feature >= n_features {
+                        return Err(e(ln, format!("split feature {feature} out of range")));
+                    }
+                    let threshold = f
+                        .next()
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .map(f64::from_bits)
+                        .ok_or_else(|| e(ln, format!("bad threshold in {line:?}")))?;
+                    let idx = flat.begin_split(feature as u32, threshold);
+                    rec(lines, n_classes, n_features, depth + 1, flat)?;
+                    flat.finish_split(idx);
+                    rec(lines, n_classes, n_features, depth + 1, flat)?;
+                    Ok(())
+                }
+                _ => Err(e(ln, format!("expected node line, got {line:?}"))),
+            }
+        }
+        let mut flat = FlatTree::new();
+        rec(lines, n_classes, n_features, 0, &mut flat)?;
+        Ok(DecisionTree { flat, n_classes, n_features, importances: vec![0.0; n_features] })
+    }
+}
+
+/// The retained boxed-node reference implementation: per-node
+/// re-sorting during growth, `Box` recursion during prediction.
+///
+/// This is the executable specification the columnar fast path is
+/// property-tested against; [`ReferenceTree::flatten`] converts to a
+/// [`DecisionTree`] for wire-format comparisons.
+#[derive(Debug, Clone)]
+pub struct ReferenceTree {
+    root: Node,
+    n_classes: usize,
+    n_features: usize,
+    importances: Vec<f64>,
+}
+
+impl ReferenceTree {
+    /// Grow a reference tree on `data`.
+    pub fn fit(data: &Dataset, params: &CartParams, seed: u64) -> Self {
+        Self::fit_on_indices(data, &(0..data.len()).collect::<Vec<_>>(), params, seed)
+    }
+
+    /// Grow a reference tree on a subset of sample indices.
     pub fn fit_on_indices(
         data: &Dataset,
         indices: &[usize],
@@ -69,7 +255,7 @@ impl DecisionTree {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut importances = vec![0.0; data.n_features()];
         let root = grow(data, indices.to_vec(), params, 0, &mut rng, &mut importances);
-        DecisionTree {
+        ReferenceTree {
             root,
             n_classes: data.n_classes(),
             n_features: data.n_features(),
@@ -77,7 +263,7 @@ impl DecisionTree {
         }
     }
 
-    /// Predict the class of one feature vector.
+    /// Predict by recursive descent through the boxed nodes.
     pub fn predict(&self, x: &[f64]) -> usize {
         assert_eq!(x.len(), self.n_features, "feature arity mismatch");
         let mut node = &self.root;
@@ -96,126 +282,344 @@ impl DecisionTree {
         &self.importances
     }
 
-    /// Tree depth (leaf-only tree has depth 0).
-    pub fn depth(&self) -> usize {
-        fn d(n: &Node) -> usize {
+    /// Convert to the flat-arena representation (pre-order walk).
+    pub fn flatten(&self) -> DecisionTree {
+        fn rec(n: &Node, flat: &mut FlatTree) {
             match n {
-                Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
-            }
-        }
-        d(&self.root)
-    }
-
-    /// Number of leaves.
-    pub fn leaves(&self) -> usize {
-        fn l(n: &Node) -> usize {
-            match n {
-                Node::Leaf { .. } => 1,
-                Node::Split { left, right, .. } => l(left) + l(right),
-            }
-        }
-        l(&self.root)
-    }
-
-    /// Write the tree's nodes in pre-order (`S <feature> <threshold>` /
-    /// `L <class>` lines) for the persistence format.
-    pub(crate) fn write_nodes(&self, out: &mut String) {
-        fn rec(n: &Node, out: &mut String) {
-            match n {
-                Node::Leaf { class } => out.push_str(&format!("L {class}\n")),
+                Node::Leaf { class } => {
+                    flat.push_leaf(*class as u32);
+                }
                 Node::Split { feature, threshold, left, right } => {
-                    out.push_str(&format!("S {feature} {:x}\n", threshold.to_bits()));
-                    rec(left, out);
-                    rec(right, out);
+                    let idx = flat.begin_split(*feature as u32, *threshold);
+                    rec(left, flat);
+                    flat.finish_split(idx);
+                    rec(right, flat);
                 }
             }
         }
-        rec(&self.root, out);
-    }
-
-    /// Rebuild a tree from pre-order node lines (persistence format).
-    /// Raw importances are not persisted per tree (the forest stores the
-    /// aggregate), so they reload as zeros.
-    pub(crate) fn read_nodes<'a>(
-        lines: &mut impl Iterator<Item = (usize, &'a str)>,
-        n_classes: usize,
-        n_features: usize,
-    ) -> Result<Self, crate::persist::PersistError> {
-        use crate::persist::PersistError;
-        fn rec<'a>(
-            lines: &mut impl Iterator<Item = (usize, &'a str)>,
-            n_classes: usize,
-            n_features: usize,
-            depth: usize,
-        ) -> Result<Node, PersistError> {
-            let e = |line: usize, what: String| PersistError { line, what };
-            if depth > 64 {
-                return Err(e(0, "tree deeper than 64: refusing".to_string()));
-            }
-            let (ln, line) =
-                lines.next().ok_or_else(|| e(0, "unexpected end of input in tree".to_string()))?;
-            let mut f = line.split_whitespace();
-            match f.next() {
-                Some("L") => {
-                    let class: usize = f
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| e(ln, format!("bad leaf {line:?}")))?;
-                    if class >= n_classes {
-                        return Err(e(ln, format!("leaf class {class} out of range")));
-                    }
-                    Ok(Node::Leaf { class })
-                }
-                Some("S") => {
-                    let feature: usize = f
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| e(ln, format!("bad split {line:?}")))?;
-                    if feature >= n_features {
-                        return Err(e(ln, format!("split feature {feature} out of range")));
-                    }
-                    let threshold = f
-                        .next()
-                        .and_then(|s| u64::from_str_radix(s, 16).ok())
-                        .map(f64::from_bits)
-                        .ok_or_else(|| e(ln, format!("bad threshold in {line:?}")))?;
-                    let left = rec(lines, n_classes, n_features, depth + 1)?;
-                    let right = rec(lines, n_classes, n_features, depth + 1)?;
-                    Ok(Node::Split {
-                        feature,
-                        threshold,
-                        left: Box::new(left),
-                        right: Box::new(right),
-                    })
-                }
-                _ => Err(e(ln, format!("expected node line, got {line:?}"))),
-            }
+        let mut flat = FlatTree::new();
+        rec(&self.root, &mut flat);
+        DecisionTree {
+            flat,
+            n_classes: self.n_classes,
+            n_features: self.n_features,
+            importances: self.importances.clone(),
         }
-        let root = rec(lines, n_classes, n_features, 0)?;
-        Ok(DecisionTree { root, n_classes, n_features, importances: vec![0.0; n_features] })
     }
 }
 
-/// Gini impurity of a class histogram.
+/// Gini impurity of a class histogram, in integer sum-of-squares form:
+/// `1 - Σc²/t²`. The numerator is exact integer arithmetic, so the
+/// columnar sweep can maintain `Σc²` incrementally (`O(1)` per
+/// threshold candidate instead of `O(classes)`) and still produce the
+/// same bits as this function computed from scratch.
 fn gini(counts: &[usize], total: usize) -> f64 {
+    let sq: u64 = counts.iter().map(|&c| (c as u64) * (c as u64)).sum();
+    gini_from_sq(sq, total)
+}
+
+/// Gini impurity from a precomputed `Σc²`. Shared by [`gini`] and the
+/// incremental sweep so both paths round identically.
+fn gini_from_sq(sq: u64, total: usize) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let t = total as f64;
-    1.0 - counts
-        .iter()
-        .map(|&c| {
-            let p = c as f64 / t;
-            p * p
-        })
-        .sum::<f64>()
+    let t = total as u64;
+    1.0 - sq as f64 / ((t * t) as f64)
 }
 
+/// Majority class: ties break to the **first** (smallest) class index.
 fn majority(counts: &[usize]) -> usize {
-    counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0)
+    argmax_first(counts)
 }
 
+/// Sweep one feature's value-sorted position list for the best
+/// threshold, maintaining `Σc²` on both sides incrementally. Shared by
+/// the global (presorted-segment) and node-local growers so both
+/// produce bit-identical split decisions.
+///
+/// `seg` holds **distinct** rows; `weights[p]` is row `p`'s bootstrap
+/// multiplicity and `total` the node's weighted size. Moving a row of
+/// weight `w` whose class count is `c` across the split changes `Σc²`
+/// by `(2c ± w)·w` — exact integer arithmetic, so the result is
+/// bit-identical to sweeping the duplicate-materialized rows (the
+/// duplicates are value-adjacent, and no threshold lands between equal
+/// values).
+#[allow(clippy::too_many_arguments)]
+fn sweep_feature(
+    view: &ColumnarView,
+    seg: &[u32],
+    f: usize,
+    weights: &[usize],
+    total: usize,
+    counts: &[usize],
+    node_sq: u64,
+    min_samples_leaf: usize,
+    left_counts: &mut [usize],
+    right_counts: &mut [usize],
+    best: &mut Option<(usize, f64, f64)>,
+) {
+    let n = total as f64;
+    let col = view.col(f);
+    left_counts.fill(0);
+    right_counts.copy_from_slice(counts);
+    let mut sq_left: u64 = 0;
+    let mut sq_right: u64 = node_sq;
+    let mut n_left = 0usize;
+    for k in 0..seg.len() - 1 {
+        let p = seg[k];
+        let label = view.label(p);
+        let rw = weights[p as usize];
+        let rwu = rw as u64;
+        let c = left_counts[label] as u64;
+        sq_left += (2 * c + rwu) * rwu;
+        left_counts[label] += rw;
+        let c = right_counts[label] as u64;
+        sq_right -= (2 * c - rwu) * rwu;
+        right_counts[label] -= rw;
+        n_left += rw;
+        let v = col[p as usize];
+        let v_next = col[seg[k + 1] as usize];
+        if v == v_next {
+            continue; // can't split between equal values
+        }
+        let n_right = total - n_left;
+        if n_left < min_samples_leaf || n_right < min_samples_leaf {
+            continue;
+        }
+        let w = (n_left as f64 / n) * gini_from_sq(sq_left, n_left)
+            + (n_right as f64 / n) * gini_from_sq(sq_right, n_right);
+        if best.map(|(_, _, bw)| w < bw).unwrap_or(true) {
+            *best = Some((f, (v + v_next) / 2.0, w));
+        }
+    }
+}
+
+/// The columnar fast-path grower: presorted feature segments, stable
+/// partition, incremental `Σc²` sweep, flat-arena output.
+///
+/// Two regimes, chosen per node by [`ColumnarGrower::local_mode`]:
+///
+/// * **global** — every feature array stays partitioned into per-node
+///   segments ([`PresortedColumns`]), so candidate sweeps need no
+///   sorting at all. Splitting costs `O(features · m)` partition work
+///   per node, which pays off when most features are candidates.
+/// * **node-local** — below the cost crossover (small segments or a
+///   small `max_features` sample) the node owns a plain ascending
+///   position list and sorts it per *candidate* feature only. Sorting
+///   ascending positions by value with ties on position is exactly the
+///   order the stable global partition maintains, so the two regimes
+///   are bit-identical (see `mlcore_equivalence`).
+struct ColumnarGrower<'a> {
+    view: &'a ColumnarView,
+    params: &'a CartParams,
+    /// Bootstrap multiplicity of each view row (all 1 for a plain fit).
+    weights: &'a [usize],
+    presort: Option<PresortedColumns>,
+    n_classes: usize,
+    rng: StdRng,
+    importances: Vec<f64>,
+    flat: FlatTree,
+}
+
+impl ColumnarGrower<'_> {
+    /// Should the node of size `m` grow in node-local mode?
+    ///
+    /// Pure function of the segment size and the parameters, so the
+    /// decision is identical across runs and thread counts. Global
+    /// partition maintenance costs ~`2·F·m` writes per split, while
+    /// node-local sorting costs ~`mtry·m·log₂(m)` comparisons; measured
+    /// on the bench workloads, an `F` budget is the crossover.
+    fn local_mode(&self, m: usize) -> bool {
+        let f = self.view.n_features();
+        let mtry = self.params.max_features.map_or(f, |k| k.max(1).min(f));
+        let log2m = (usize::BITS - m.leading_zeros()) as usize;
+        mtry * log2m <= f
+    }
+
+    /// Grow the node owning segment `[lo, hi)` of every presorted
+    /// feature array. Mirrors the reference [`grow`] decision for
+    /// decision: same stop rule, same candidate order, same RNG
+    /// consumption, same float expressions.
+    fn grow(&mut self, lo: usize, hi: usize, depth: usize) {
+        if self.view.n_features() == 0 {
+            // No columns to walk (and nothing to split on): count
+            // straight off the label array, which the degenerate
+            // zero-feature fit owns wholesale.
+            let mut counts = vec![0usize; self.n_classes];
+            for (&l, &w) in self.view.labels().iter().zip(self.weights) {
+                counts[l as usize] += w;
+            }
+            self.flat.push_leaf(majority(&counts) as u32);
+            return;
+        }
+        if self.presort.is_none() || self.local_mode(hi - lo) {
+            // Drop to node-local growth: materialize the node's
+            // ascending position list and never touch the global
+            // arrays below this point (the segment range is owned by
+            // this subtree alone, so leaving it stale is safe).
+            let positions: Vec<u32> = match &self.presort {
+                Some(ps) => {
+                    let mut v = ps.feature_segment(0, lo, hi).to_vec();
+                    v.sort_unstable();
+                    v
+                }
+                // Only the root grows without global arrays; its
+                // position list is every row of the bootstrap view.
+                None => (lo as u32..hi as u32).collect(),
+            };
+            self.grow_local(&positions, depth);
+            return;
+        }
+
+        let mut counts = vec![0usize; self.n_classes];
+        let presort = self.presort.as_ref().expect("global mode has presorted arrays");
+        for &p in presort.feature_segment(0, lo, hi) {
+            counts[self.view.label(p)] += self.weights[p as usize];
+        }
+        // The node's weighted size — the reference's duplicate count.
+        let m: usize = counts.iter().sum();
+        let node_gini = gini(&counts, m);
+        let stop =
+            depth >= self.params.max_depth || m < self.params.min_samples_split || node_gini == 0.0;
+        if stop {
+            self.flat.push_leaf(majority(&counts) as u32);
+            return;
+        }
+
+        // Candidate features (possibly a random subset) — identical
+        // shuffle, so the RNG stream matches the reference node for
+        // node (pre-order).
+        let mut features: Vec<usize> = (0..self.view.n_features()).collect();
+        if let Some(k) = self.params.max_features {
+            features.shuffle(&mut self.rng);
+            features.truncate(k.max(1).min(self.view.n_features()));
+        }
+
+        let node_sq: u64 = counts.iter().map(|&c| (c as u64) * (c as u64)).sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+        let n = m as f64;
+        let mut left_counts = vec![0usize; self.n_classes];
+        let mut right_counts = vec![0usize; self.n_classes];
+        let presort = self.presort.as_ref().expect("global mode has presorted arrays");
+        for &f in &features {
+            // Already sorted: sweep thresholds between distinct values.
+            sweep_feature(
+                self.view,
+                presort.feature_segment(f, lo, hi),
+                f,
+                self.weights,
+                m,
+                &counts,
+                node_sq,
+                self.params.min_samples_leaf,
+                &mut left_counts,
+                &mut right_counts,
+                &mut best,
+            );
+        }
+
+        // Accept zero-improvement splits (like scikit-learn): XOR-style
+        // structure yields no first-level Gini gain, yet splitting still
+        // makes progress because both children are strictly smaller.
+        match best {
+            Some((feature, threshold, w)) if w <= node_gini + 1e-12 => {
+                // Importance: impurity decrease weighted by node size.
+                self.importances[feature] += (node_gini - w) * n;
+                let col = self.view.col(feature);
+                let presort = self.presort.as_mut().expect("global mode has presorted arrays");
+                presort.mark_by_threshold(feature, lo, hi, col, threshold);
+                let n_left = presort.partition(lo, hi);
+                let idx = self.flat.begin_split(feature as u32, threshold);
+                self.grow(lo, lo + n_left, depth + 1);
+                self.flat.finish_split(idx);
+                self.grow(lo + n_left, hi, depth + 1);
+            }
+            _ => {
+                self.flat.push_leaf(majority(&counts) as u32);
+            }
+        }
+    }
+
+    /// Node-local growth: `positions` is the node's row set in
+    /// ascending order (the reference's own index-list order). Each
+    /// candidate feature sorts a scratch copy by `(value, position)` —
+    /// bit-identical to the global segment order — and sweeps with the
+    /// shared [`sweep_feature`]. Children partition the ascending list
+    /// by the split predicate, preserving ascending order, exactly as
+    /// the reference partitions its index list.
+    fn grow_local(&mut self, positions: &[u32], depth: usize) {
+        let mut counts = vec![0usize; self.n_classes];
+        for &p in positions {
+            counts[self.view.label(p)] += self.weights[p as usize];
+        }
+        // The node's weighted size — the reference's duplicate count.
+        let m: usize = counts.iter().sum();
+        let node_gini = gini(&counts, m);
+        let stop =
+            depth >= self.params.max_depth || m < self.params.min_samples_split || node_gini == 0.0;
+        if stop {
+            self.flat.push_leaf(majority(&counts) as u32);
+            return;
+        }
+
+        let mut features: Vec<usize> = (0..self.view.n_features()).collect();
+        if let Some(k) = self.params.max_features {
+            features.shuffle(&mut self.rng);
+            features.truncate(k.max(1).min(self.view.n_features()));
+        }
+
+        let node_sq: u64 = counts.iter().map(|&c| (c as u64) * (c as u64)).sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+        let n = m as f64;
+        let mut left_counts = vec![0usize; self.n_classes];
+        let mut right_counts = vec![0usize; self.n_classes];
+        let mut by_value = positions.to_vec();
+        for &f in &features {
+            let col = self.view.col(f);
+            by_value.copy_from_slice(positions);
+            // Ascending positions sorted by value with ties on position
+            // == the stable order the global arrays maintain.
+            by_value.sort_unstable_by(|&a, &b| {
+                col[a as usize]
+                    .partial_cmp(&col[b as usize])
+                    .expect("finite features")
+                    .then(a.cmp(&b))
+            });
+            sweep_feature(
+                self.view,
+                &by_value,
+                f,
+                self.weights,
+                m,
+                &counts,
+                node_sq,
+                self.params.min_samples_leaf,
+                &mut left_counts,
+                &mut right_counts,
+                &mut best,
+            );
+        }
+
+        match best {
+            Some((feature, threshold, w)) if w <= node_gini + 1e-12 => {
+                self.importances[feature] += (node_gini - w) * n;
+                let col = self.view.col(feature);
+                let (left, right): (Vec<u32>, Vec<u32>) =
+                    positions.iter().partition(|&&p| col[p as usize] <= threshold);
+                let idx = self.flat.begin_split(feature as u32, threshold);
+                self.grow_local(&left, depth + 1);
+                self.flat.finish_split(idx);
+                self.grow_local(&right, depth + 1);
+            }
+            _ => {
+                self.flat.push_leaf(majority(&counts) as u32);
+            }
+        }
+    }
+}
+
+/// The reference grower: re-sorts the node's indices per feature.
 fn grow(
     data: &Dataset,
     indices: Vec<usize>,
@@ -351,6 +755,21 @@ mod tests {
         assert_eq!(t.predict(&[0.0, 0.3]), 1, "majority class wins");
     }
 
+    /// Regression for the documented tie-break: an exact tie in the
+    /// majority count must resolve to the *smaller* class index.
+    /// `max_by_key` (the old implementation) picked the larger one.
+    #[test]
+    fn majority_tie_breaks_to_smaller_class_index() {
+        assert_eq!(majority(&[5, 5]), 0);
+        assert_eq!(majority(&[0, 3, 3]), 1);
+        let d = two_blob_dataset(); // exactly 20 of each class
+        let p = CartParams { max_depth: 0, ..CartParams::default() };
+        let t = DecisionTree::fit(&d, &p, 0);
+        assert_eq!(t.predict(&[9.0, 0.5]), 0, "20-20 tie goes to class 0");
+        let r = ReferenceTree::fit(&d, &p, 0);
+        assert_eq!(r.predict(&[9.0, 0.5]), 0);
+    }
+
     #[test]
     fn min_samples_leaf_is_respected() {
         let d = two_blob_dataset();
@@ -399,6 +818,32 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_matches_reference_on_blobs() {
+        let d = two_blob_dataset();
+        for seed in [0, 3, 9] {
+            let p = CartParams { max_features: Some(1), ..CartParams::default() };
+            let fast = DecisionTree::fit(&d, &p, seed);
+            let reference = ReferenceTree::fit(&d, &p, seed);
+            assert_eq!(fast.raw_importances(), reference.raw_importances());
+            assert_eq!(fast, reference.flatten(), "identical arenas node for node");
+            for s in &d.samples {
+                assert_eq!(fast.predict(&s.features), reference.predict(&s.features));
+            }
+        }
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let d = two_blob_dataset();
+        let t = DecisionTree::fit(&d, &CartParams::default(), 0);
+        let xs: Vec<Vec<f64>> = d.samples.iter().map(|s| s.features.clone()).collect();
+        let batch = t.predict_all(&xs);
+        for (x, b) in xs.iter().zip(&batch) {
+            assert_eq!(t.predict(x), *b);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "feature arity mismatch")]
     fn predict_checks_arity() {
         let d = two_blob_dataset();
@@ -413,5 +858,25 @@ mod tests {
         assert_eq!(gini(&[], 0), 0.0);
         let g = gini(&[3, 3, 3], 9);
         assert!((g - (1.0 - 3.0 * (1.0 / 9.0))).abs() < 1e-12);
+    }
+
+    /// The sum-of-squares form must agree with the textbook
+    /// `1 - Σ(c/t)²` to floating-point-comparison accuracy on
+    /// awkward histograms.
+    #[test]
+    fn sum_of_squares_gini_matches_textbook_form() {
+        let cases: &[&[usize]] = &[&[1, 2, 3], &[7], &[13, 0, 5, 5], &[997, 3], &[1; 12]];
+        for counts in cases {
+            let total: usize = counts.iter().sum();
+            let textbook = 1.0
+                - counts
+                    .iter()
+                    .map(|&c| {
+                        let p = c as f64 / total as f64;
+                        p * p
+                    })
+                    .sum::<f64>();
+            assert!((gini(counts, total) - textbook).abs() < 1e-12);
+        }
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::dataset::Dataset;
 use crate::{Algorithm, Model};
+use bs_mlcore::argmax_first;
 
 /// A bag of independently trained models that predicts by majority.
 #[derive(Debug, Clone)]
@@ -35,7 +36,7 @@ impl MajorityEnsemble {
     }
 
     /// Majority class over the member models (ties break toward the
-    /// smaller class index).
+    /// smaller class index, explicitly first-max).
     pub fn predict(&self, x: &[f64]) -> usize {
         self.predict_with_confidence(x).0
     }
@@ -49,13 +50,22 @@ impl MajorityEnsemble {
         for m in &self.models {
             votes[m.predict(x)] += 1;
         }
-        let (class, n) = votes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| **v)
-            .map(|(i, v)| (i, *v))
-            .expect("classes exist");
-        (class, n as f64 / self.models.len() as f64)
+        let class = argmax_first(&votes);
+        (class, votes[class] as f64 / self.models.len() as f64)
+    }
+
+    /// Predict a batch: model-outer vote accumulation, so each member
+    /// model serves the whole batch through its own batch path (flat
+    /// tree arenas stream once per tree). Vote totals and tie-breaks
+    /// are identical to calling [`MajorityEnsemble::predict`] per row.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        let mut votes = vec![0u32; xs.len() * self.n_classes];
+        for m in &self.models {
+            for (r, class) in m.predict_all(xs).into_iter().enumerate() {
+                votes[r * self.n_classes + class] += 1;
+            }
+        }
+        votes.chunks_exact(self.n_classes.max(1)).map(argmax_first).collect()
     }
 
     /// Number of member models.
@@ -115,5 +125,18 @@ mod tests {
         let e = MajorityEnsemble::fit(&alg, &d, 5, 2);
         assert_eq!(e.predict(&[0.0]), 0);
         assert_eq!(e.predict(&[9.0]), 1);
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let d = tiny();
+        let alg = Algorithm::RandomForest(ForestParams { n_trees: 7, ..Default::default() });
+        let e = MajorityEnsemble::fit(&alg, &d, 3, 4);
+        let xs: Vec<Vec<f64>> = d.samples.iter().map(|s| s.features.clone()).collect();
+        let batch = e.predict_all(&xs);
+        for (x, b) in xs.iter().zip(&batch) {
+            assert_eq!(e.predict(x), *b);
+        }
+        assert!(e.predict_all(&[]).is_empty());
     }
 }

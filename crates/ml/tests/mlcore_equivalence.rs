@@ -1,0 +1,160 @@
+//! Property-tested equivalence between the bs-mlcore fast paths and
+//! the retained reference implementations (DESIGN.md §12).
+//!
+//! The claims here are **bit-identity**, not approximate agreement:
+//! the columnar presorted-index CART must choose the same splits,
+//! accumulate the same importances and predict the same classes as the
+//! boxed re-sorting reference; the Gram-cached SMO must produce equal
+//! machines to the nested-`Vec` reference; and persisted models must
+//! serialize to identical bytes whichever grower built them.
+
+use bs_ml::dataset::{Dataset, Sample};
+use bs_ml::forest::{Forest, ForestParams};
+use bs_ml::svm::{Svm, SvmParams};
+use bs_ml::tree::{CartParams, DecisionTree, ReferenceTree};
+use proptest::prelude::*;
+
+/// 2–4 classes, 1–5 features, 10–50 samples; values drawn from a
+/// coarse grid so duplicate feature values (the stable-sort stress
+/// case) are common.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..=4, 1usize..=5).prop_flat_map(|(n_classes, n_features)| {
+        proptest::collection::vec(
+            (proptest::collection::vec(-8i64..8, n_features), 0usize..n_classes),
+            10..50,
+        )
+        .prop_map(move |rows| {
+            let mut d = Dataset::new(
+                (0..n_features).map(|i| format!("f{i}")).collect(),
+                (0..n_classes).map(|i| format!("c{i}")).collect(),
+            );
+            for (grid, label) in rows {
+                d.push(Sample {
+                    features: grid.into_iter().map(|g| g as f64 * 0.5).collect(),
+                    label,
+                });
+            }
+            d
+        })
+    })
+}
+
+fn arb_cart_params() -> impl Strategy<Value = CartParams> {
+    // `max_features` is drawn from 0..=3 with 0 meaning "no cap".
+    (1usize..=12, 2usize..=6, 1usize..=3, 0usize..=3).prop_map(
+        |(max_depth, min_samples_split, min_samples_leaf, cap)| CartParams {
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            max_features: if cap == 0 { None } else { Some(cap) },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Columnar CART ≡ reference CART: same arena node for node (same
+    /// splits, same thresholds), bitwise-equal raw importances, and
+    /// identical predictions on every training row and on off-grid
+    /// probes.
+    #[test]
+    fn cart_fast_path_matches_reference(
+        d in arb_dataset(),
+        params in arb_cart_params(),
+        seed in any::<u64>(),
+    ) {
+        let fast = DecisionTree::fit(&d, &params, seed);
+        let reference = ReferenceTree::fit(&d, &params, seed);
+        let fast_imp: Vec<u64> = fast.raw_importances().iter().map(|v| v.to_bits()).collect();
+        let ref_imp: Vec<u64> = reference.raw_importances().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_imp, ref_imp, "importances must match bitwise");
+        prop_assert_eq!(&fast, &reference.flatten(), "identical flat arenas");
+        for s in &d.samples {
+            prop_assert_eq!(fast.predict(&s.features), reference.predict(&s.features));
+        }
+        let probe: Vec<f64> = (0..d.n_features()).map(|f| f as f64 * 0.25 - 1.0).collect();
+        prop_assert_eq!(fast.predict(&probe), reference.predict(&probe));
+    }
+
+    /// Flat-arena iterative predict ≡ boxed recursive predict, for the
+    /// same tree (the reference flattened), including the batch API.
+    #[test]
+    fn flat_predict_matches_boxed_predict(
+        d in arb_dataset(),
+        params in arb_cart_params(),
+        seed in any::<u64>(),
+    ) {
+        let boxed = ReferenceTree::fit(&d, &params, seed);
+        let flat = boxed.flatten();
+        let xs: Vec<Vec<f64>> = d.samples.iter().map(|s| s.features.clone()).collect();
+        let batch = flat.predict_all(&xs);
+        for (x, b) in xs.iter().zip(&batch) {
+            prop_assert_eq!(boxed.predict(x), flat.predict(x));
+            prop_assert_eq!(flat.predict(x), *b, "batch path must equal scalar path");
+        }
+    }
+
+    /// Bootstrap fits (the forest's base-learner configuration,
+    /// duplicate indices included) agree between the two growers.
+    #[test]
+    fn cart_fast_path_matches_reference_on_bootstrap_indices(
+        d in arb_dataset(),
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(any::<u64>(), 10..40),
+    ) {
+        let indices: Vec<usize> = picks.iter().map(|&p| p as usize % d.len()).collect();
+        let params = CartParams { max_features: Some(2), ..CartParams::default() };
+        let fast = DecisionTree::fit_on_indices(&d, &indices, &params, seed);
+        let reference = ReferenceTree::fit_on_indices(&d, &indices, &params, seed);
+        prop_assert_eq!(&fast, &reference.flatten());
+        let fast_imp: Vec<u64> = fast.raw_importances().iter().map(|v| v.to_bits()).collect();
+        let ref_imp: Vec<u64> = reference.raw_importances().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_imp, ref_imp);
+    }
+
+    /// Forests grown by the two growers serialize to byte-identical
+    /// `bs-forest v1` text, and the persisted text round-trips to the
+    /// same canonical bytes — the wire format is unchanged by the
+    /// flat-arena representation.
+    #[test]
+    fn forest_persistence_is_grower_independent(
+        d in arb_dataset(),
+        seed in any::<u64>(),
+        n_trees in 1usize..=6,
+    ) {
+        let p = ForestParams { n_trees, ..ForestParams::default() };
+        let fast = Forest::fit(&d, &p, seed);
+        let reference = Forest::fit_reference(&d, &p, seed);
+        let text = fast.to_text();
+        prop_assert_eq!(&text, &reference.to_text(), "byte-identical persisted models");
+        let loaded = Forest::from_text(&text).expect("round-trip parses");
+        prop_assert_eq!(&loaded.to_text(), &text, "round-trip is byte-identical");
+        for s in &d.samples {
+            prop_assert_eq!(fast.predict(&s.features), loaded.predict(&s.features));
+        }
+    }
+}
+
+proptest! {
+    // SMO is the expensive fit; fewer cases keep the suite fast while
+    // still exercising full-Gram and lazy-row modes below.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Gram-cached SMO ≡ reference SMO: equal machines (support
+    /// vectors, coefficients, biases — `Svm` derives `PartialEq`), in
+    /// both full-matrix and lazy-row cache modes.
+    #[test]
+    fn svm_fast_path_matches_reference(d in arb_dataset(), seed in any::<u64>()) {
+        let params = SvmParams { max_iters: 40, ..SvmParams::default() };
+        let fast = Svm::fit(&d, &params, seed);
+        let reference = Svm::fit_reference(&d, &params, seed);
+        prop_assert_eq!(&fast, &reference, "bit-identical machines");
+
+        // Force the bounded row cache: every pairwise problem exceeds
+        // gram_limit, so rows are cached lazily and recomputed past the
+        // cap. Same machines either way.
+        let lazy = Svm::fit(&d, &SvmParams { gram_limit: 4, ..params }, seed);
+        prop_assert_eq!(&fast, &lazy, "cache mode must not leak into results");
+    }
+}

@@ -20,6 +20,9 @@ cargo clippy -p bs-trace --all-targets -- -D warnings
 echo "=== cargo clippy bs-fastmap (the ingest hash engine, separately)"
 cargo clippy -p bs-fastmap --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-mlcore (the ML fast-path core, separately)"
+cargo clippy -p bs-mlcore --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
 
@@ -29,6 +32,15 @@ cargo test -q -p bs-trace
 echo "=== cargo test bs-fastmap (standalone, zero-dep)"
 cargo test -q -p bs-fastmap
 
+echo "=== cargo test bs-mlcore (standalone, zero-dep)"
+cargo test -q -p bs-mlcore
+
+echo "=== ML fast-path equivalence (sequential: BS_THREADS=1)"
+BS_THREADS=1 cargo test -q -p bs-ml --test mlcore_equivalence
+
+echo "=== ML fast-path equivalence (parallel: BS_THREADS=8)"
+BS_THREADS=8 cargo test -q -p bs-ml --test mlcore_equivalence
+
 echo "=== cargo test (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q
 
@@ -37,6 +49,9 @@ cargo test -q
 
 echo "=== ingest bench smoke (fast vs reference, one pass per body)"
 cargo bench -q -p bench --bench ingest -- --test >/dev/null
+
+echo "=== ml bench smoke (columnar vs reference, one pass per body)"
+cargo bench -q -p bench --bench ml -- --test >/dev/null
 
 echo "=== CLI smoke: --trace writes parseable Chrome trace JSON"
 trace_tmp="$(mktemp -d)"
