@@ -1,316 +1,39 @@
 //! Machine-readable pipeline performance snapshot.
 //!
-//! Runs the smoke-scale JP-ditl pipeline end to end three times — once
-//! with the telemetry registry disabled (the overhead baseline), once
-//! enabled, and once enabled but pinned to a single thread — then
-//! writes the parallel run's full telemetry snapshot to
-//! `BENCH_pipeline.json` at the workspace root. Future changes compare
-//! their stage latencies (`core.curate` / `core.retrain` /
-//! `core.classify`, nanosecond histograms) against this file; the
-//! wall-clock gauges bound the cost of telemetry itself
-//! (`wall_ms_disabled` vs `wall_ms_enabled`) and record the
-//! sequential-vs-parallel trajectory (`wall_ms_sequential` vs
-//! `wall_ms_parallel`, with `threads` saying how wide the parallel run
-//! was). A fourth run turns on the `bs-trace` flight recorder and
-//! conservation ledger (`wall_ms_trace_enabled` vs `wall_ms_enabled`
-//! bounds the cost of `--trace`; `trace_events` is the recorded event
-//! count, and the ledger must verify balanced). All runs must classify
-//! identically — the process asserts the determinism contract before
-//! writing anything.
+//! Runs the shared measurement suite ([`bench::perfsnap::measure_all`]
+//! — pipeline wall times under four telemetry regimes, ingest
+//! throughput fast-vs-reference, ML fast-vs-reference, every
+//! equivalence contract asserted) and writes the resulting telemetry
+//! registry to `BENCH_pipeline.json` at the workspace root. That file
+//! is the committed baseline `perf_gate` compares fresh runs against.
 //!
-//! The snapshot also times raw ingest throughput on a fixed-seed
-//! storm-shaped log: `bench.ingest.batch_fast_rps` /
-//! `bench.ingest.batch_reference_rps` compare the `bs-fastmap`
-//! compact-key engine against the retained BTree reference for batch
-//! ingestion, and `bench.ingest.stream_fast_rps` /
-//! `bench.ingest.stream_reference_rps` do the same for the streaming
-//! sensor under admission/eviction pressure (`bench.ingest.records` is
-//! the log size). Fast and reference outputs are asserted equal before
-//! any number is recorded.
-//!
-//! Likewise the ML layer: `bench.ml.*` gauges time the `bs-mlcore`
-//! columnar fast paths against their retained references on a
-//! B-root-window-sized training set, single-threaded so the ratios
-//! measure the algorithms rather than the pool
-//! (`bench.ml.forest_fit_fast_rps` vs `bench.ml.forest_fit_reference_rps`
-//! in training rows/second, `bench.ml.svm_fit_fast_rps` vs
-//! `bench.ml.svm_fit_reference_rps`, and
-//! `bench.ml.forest_predict_batch_rps` vs
-//! `bench.ml.forest_predict_scalar_rps` in predictions/second). Fast
-//! and reference models are asserted bit-identical — equal persisted
-//! bytes for the forests, equal machines for the SVMs — before any
-//! number is recorded.
+//! Gauge semantics (see `backscatter stats` for the full metric list):
+//! `bench.pipeline.wall_ms_disabled` vs `wall_ms_enabled` bounds the
+//! cost of telemetry itself; `wall_ms_sequential` vs `wall_ms_parallel`
+//! records the sequential-vs-parallel trajectory (with `threads` the
+//! parallel width); `wall_ms_trace_enabled` bounds the cost of
+//! `--trace` (`trace_events` is the recorded event count, and the
+//! ledger must verify balanced); `bench.ingest.*` and `bench.ml.*` are
+//! records/second throughput pairs, fast path vs retained reference.
 //!
 //! ```bash
 //! cargo run --release -p bench --bin perf_snapshot
 //! ```
 
-use backscatter_core::dns::Rcode;
-use backscatter_core::netsim::log::{QueryLog, QueryLogRecord};
-use backscatter_core::prelude::*;
-use backscatter_core::sensor::ingest::Observations;
-use backscatter_core::sensor::{ReferenceStreamingSensor, StreamConfig, StreamingSensor};
-use std::net::Ipv4Addr;
-use std::path::PathBuf;
-use std::time::Instant;
-
-/// Records in the synthetic ingest-throughput log.
-const INGEST_RECORDS: usize = 200_000;
-/// Time span the synthetic log covers, in seconds.
-const INGEST_SPAN_SECS: u64 = 20_000;
-
-/// Storm-shaped synthetic log (many one-shot originators, few queriers
-/// each) from a fixed-seed LCG — the workload that motivated the
-/// `bs-fastmap` fast path, identical on every run.
-fn ingest_log() -> QueryLog {
-    let mut state: u64 = 0x5EED_CAFE;
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        state >> 16
-    };
-    let mut log = QueryLog::new();
-    for i in 0..INGEST_RECORDS {
-        let o = next() as u32 % 60_000;
-        let q = next() as u32 % 4_000;
-        log.push(QueryLogRecord {
-            time: SimTime(i as u64 * INGEST_SPAN_SECS / INGEST_RECORDS as u64),
-            querier: Ipv4Addr::from(0x0A00_0000 | q),
-            originator: Ipv4Addr::from(0xC000_0000 | o),
-            rcode: Rcode::NoError,
-        });
-    }
-    log
-}
-
-/// Records/second over one timed run of `f`.
-fn rps<T>(records: usize, f: impl FnOnce() -> T) -> (i64, T) {
-    let t0 = Instant::now();
-    let out = f();
-    let secs = t0.elapsed().as_secs_f64();
-    ((records as f64 / secs.max(1e-9)) as i64, out)
-}
-
-fn run_pipeline(world: &World) -> Vec<usize> {
-    let spec = DatasetSpec::paper(DatasetId::JpDitl, Scale::smoke(), 7);
-    let built = build_dataset(world, spec);
-    let mut pipeline = DatasetPipeline::default();
-    pipeline.feature_config.min_queriers = 10;
-    let run = pipeline.run(world, &built);
-    run.windows.iter().map(|w| w.entries.len()).collect()
-}
-
-/// Ingest throughput, fast path vs retained reference, batch and
-/// streaming (the streaming config keeps the table under pressure so
-/// admission + eviction are on the measured path). Asserts the fast
-/// path's output equals the reference's before recording anything.
-fn ingest_throughput() -> [(&'static str, i64); 5] {
-    let log = ingest_log();
-    let end = SimTime(INGEST_SPAN_SECS + 1);
-    let dedup = SimDuration::from_secs(30);
-    let cfg = StreamConfig {
-        window: SimDuration::from_secs(INGEST_SPAN_SECS + 1),
-        max_originators: 20_000,
-        admission_queries: 2,
-        ..Default::default()
-    };
-
-    let (batch_fast_rps, fast_batch) = rps(log.len(), || {
-        Observations::ingest_with_dedup(&log, SimTime::ZERO, end, dedup).originator_count()
-    });
-    let (batch_ref_rps, ref_batch) = rps(log.len(), || {
-        Observations::ingest_with_dedup_reference(&log, SimTime::ZERO, end, dedup)
-            .originator_count()
-    });
-    assert_eq!(fast_batch, ref_batch, "batch fast path must match the reference");
-
-    let (stream_fast_rps, fast_stream) = rps(log.len(), || {
-        let mut s = StreamingSensor::new(cfg);
-        let mut n = 0usize;
-        for r in log.records() {
-            if let Some(w) = s.push(*r) {
-                n += w.observations.originator_count();
-            }
-        }
-        n + s.finish().map_or(0, |w| w.observations.originator_count())
-    });
-    let (stream_ref_rps, ref_stream) = rps(log.len(), || {
-        let mut s = ReferenceStreamingSensor::new(cfg);
-        let mut n = 0usize;
-        for r in log.records() {
-            if let Some(w) = s.push(*r) {
-                n += w.observations.originator_count();
-            }
-        }
-        n + s.finish().map_or(0, |w| w.observations.originator_count())
-    });
-    assert_eq!(fast_stream, ref_stream, "streaming fast path must match the reference");
-
-    [
-        ("bench.ingest.records", log.len() as i64),
-        ("bench.ingest.batch_fast_rps", batch_fast_rps),
-        ("bench.ingest.batch_reference_rps", batch_ref_rps),
-        ("bench.ingest.stream_fast_rps", stream_fast_rps),
-        ("bench.ingest.stream_reference_rps", stream_ref_rps),
-    ]
-}
-
-/// ML training/prediction throughput, columnar fast paths vs retained
-/// references, on a fixed-seed dataset shaped like one B-root window
-/// (≈600 originators × 22 features × 12 classes). Runs single-threaded
-/// (the caller pins the pool) so the ratio isolates the algorithmic
-/// speedup. Asserts bit-identical models before recording anything.
-fn ml_throughput() -> [(&'static str, i64); 7] {
-    use backscatter_core::ml::{Dataset, Forest, ForestParams, Sample, Svm, SvmParams};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    const ROWS: usize = 2400;
-    let mut rng = StdRng::seed_from_u64(0xB007);
-    let mut data = Dataset::new(
-        (0..22).map(|i| format!("f{i}")).collect(),
-        (0..12).map(|i| format!("c{i}")).collect(),
-    );
-    for _ in 0..ROWS {
-        let label = rng.gen_range(0..12usize);
-        let features: Vec<f64> = (0..22)
-            .map(|j| {
-                let signal = if j % 12 == label { 1.0 } else { 0.0 };
-                signal + rng.gen_range(-0.3..0.3)
-            })
-            .collect();
-        data.push(Sample { features, label });
-    }
-
-    let fp = ForestParams { n_trees: 30, ..ForestParams::default() };
-    let (forest_fast_rps, fast_forest) = rps(ROWS, || Forest::fit(&data, &fp, 7));
-    let (forest_ref_rps, ref_forest) = rps(ROWS, || Forest::fit_reference(&data, &fp, 7));
-    assert_eq!(
-        fast_forest.to_text(),
-        ref_forest.to_text(),
-        "columnar forest must persist byte-identically to the reference"
-    );
-
-    let sp = SvmParams { max_iters: 30, ..SvmParams::default() };
-    let (svm_fast_rps, fast_svm) = rps(ROWS, || Svm::fit(&data, &sp, 7));
-    let (svm_ref_rps, ref_svm) = rps(ROWS, || Svm::fit_reference(&data, &sp, 7));
-    assert_eq!(fast_svm, ref_svm, "Gram-cached SVM must equal the reference bit for bit");
-
-    let xs: Vec<Vec<f64>> = data.samples.iter().map(|s| s.features.clone()).collect();
-    let (predict_batch_rps, batch) = rps(xs.len(), || fast_forest.predict_all(&xs));
-    let (predict_scalar_rps, scalar) =
-        rps(xs.len(), || xs.iter().map(|x| fast_forest.predict(x)).collect::<Vec<_>>());
-    assert_eq!(batch, scalar, "batch prediction must equal per-row prediction");
-
-    [
-        ("bench.ml.rows", ROWS as i64),
-        ("bench.ml.forest_fit_fast_rps", forest_fast_rps),
-        ("bench.ml.forest_fit_reference_rps", forest_ref_rps),
-        ("bench.ml.svm_fit_fast_rps", svm_fast_rps),
-        ("bench.ml.svm_fit_reference_rps", svm_ref_rps),
-        ("bench.ml.forest_predict_batch_rps", predict_batch_rps),
-        ("bench.ml.forest_predict_scalar_rps", predict_scalar_rps),
-    ]
-}
-
 fn main() {
-    let world = backscatter_core::netsim::world::World::new(WorldConfig::default());
+    let summary = bench::perfsnap::measure_all();
 
-    // Baseline: telemetry compiled in but disabled (the default state).
-    backscatter_core::telemetry::disable();
-
-    // Ingest throughput first, while telemetry is off, so the sensor's
-    // window-flush counters from the synthetic log don't leak into the
-    // pipeline snapshot below.
-    let ingest_gauges = ingest_throughput();
-
-    // ML throughput, also while telemetry is off, pinned to one thread
-    // so the fast/reference ratios measure the algorithms, not the
-    // pool. Restore the default width afterwards.
-    backscatter_core::par::set_threads(1);
-    let ml_gauges = ml_throughput();
-    backscatter_core::par::set_threads(0);
-
-    let t0 = Instant::now();
-    let classified_off = run_pipeline(&world);
-    let off_ms = t0.elapsed().as_millis() as i64;
-
-    // Sequential run: one thread, telemetry on.
-    backscatter_core::telemetry::reset();
-    backscatter_core::telemetry::enable();
-    backscatter_core::par::set_threads(1);
-    let t0 = Instant::now();
-    let classified_seq = run_pipeline(&world);
-    let seq_ms = t0.elapsed().as_millis() as i64;
-
-    // Traced run: default width with the bs-trace flight recorder and
-    // conservation ledger on — bounds the cost of `--trace` itself
-    // (compare wall_ms_trace_enabled against wall_ms_enabled).
-    backscatter_core::par::set_threads(0);
-    backscatter_core::trace::enable();
-    backscatter_core::trace::drain();
-    backscatter_core::trace::ledger::reset();
-    let t0 = Instant::now();
-    let classified_traced = run_pipeline(&world);
-    let traced_ms = t0.elapsed().as_millis() as i64;
-    let trace_events = backscatter_core::trace::drain().len();
-    assert!(
-        backscatter_core::trace::ledger::verify().is_empty(),
-        "traced run must balance the drop-accounting ledger"
-    );
-    backscatter_core::trace::ledger::reset();
-    backscatter_core::trace::disable();
-
-    // Parallel run: default width (BS_THREADS / all cores). This is
-    // the snapshot that gets written, so its telemetry is the record.
-    backscatter_core::telemetry::reset();
-    let threads = backscatter_core::par::threads();
-    let t0 = Instant::now();
-    let classified_par = run_pipeline(&world);
-    let par_ms = t0.elapsed().as_millis() as i64;
-
-    assert_eq!(classified_par, classified_off, "telemetry must not change results");
-    assert_eq!(
-        classified_par, classified_seq,
-        "parallel output must be bit-identical to sequential"
-    );
-    assert_eq!(classified_par, classified_traced, "tracing must not change results");
-
-    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_disabled", off_ms);
-    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_enabled", par_ms);
-    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_sequential", seq_ms);
-    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_parallel", par_ms);
-    backscatter_core::telemetry::gauge_set("bench.pipeline.threads", threads as i64);
-    // `--trace` overhead: same pipeline at the same width with the
-    // flight recorder + ledger on vs off (wall_ms_enabled).
-    backscatter_core::telemetry::gauge_set("bench.pipeline.wall_ms_trace_enabled", traced_ms);
-    backscatter_core::telemetry::gauge_set("bench.pipeline.trace_events", trace_events as i64);
-    // Ingest-engine throughput: records/second, `bs-fastmap` fast path
-    // vs the retained BTree reference, batch and streaming.
-    for (name, value) in ingest_gauges {
-        backscatter_core::telemetry::gauge_set(name, value);
-    }
-    // ML throughput: rows/second trained (and rows/second classified),
-    // `bs-mlcore` columnar fast paths vs the retained references.
-    for (name, value) in ml_gauges {
-        backscatter_core::telemetry::gauge_set(name, value);
-    }
-
-    let out: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .expect("bench crate lives two levels under the workspace root")
-        .join("BENCH_pipeline.json");
+    let out = bench::perfsnap::baseline_path();
     let json = backscatter_core::telemetry::snapshot_json();
     std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
 
-    let classified: usize = classified_par.iter().sum();
     bs_telemetry::info!(
         "bench",
         "wrote {}", out.display();
-        classified = classified,
-        wall_ms_sequential = seq_ms,
-        wall_ms_parallel = par_ms,
-        threads = threads,
+        classified = summary.classified,
+        wall_ms_sequential = summary.wall_ms_sequential,
+        wall_ms_parallel = summary.wall_ms_parallel,
+        threads = summary.threads,
     );
     print!("{json}");
 }

@@ -26,6 +26,7 @@
 //! | [`datasets`] | `bs-datasets` | the seven paper datasets + oracles |
 //! | [`analysis`] | `bs-analysis` | footprints, trends, churn, teams |
 //! | [`telemetry`] | `bs-telemetry` | counters, spans, structured logging, exporters |
+//! | [`live`] | `bs-live` | windowed rates, scrape endpoint, health watchdog |
 //! | [`par`] | `bs-par` | deterministic work-stealing parallelism (`BS_THREADS`) |
 //! | [`trace`] | `bs-trace` | causal tracing, flight recorder, drop-accounting ledger |
 //!
@@ -53,6 +54,7 @@ pub use bs_analysis as analysis;
 pub use bs_classify as classify;
 pub use bs_datasets as datasets;
 pub use bs_dns as dns;
+pub use bs_live as live;
 pub use bs_ml as ml;
 pub use bs_netsim as netsim;
 pub use bs_par as par;
@@ -61,6 +63,7 @@ pub use bs_telemetry as telemetry;
 pub use bs_trace as trace;
 
 pub mod pipeline;
+pub mod stream;
 
 /// The most commonly used types, one `use` away.
 pub mod prelude {

@@ -1,0 +1,94 @@
+//! A fixed-capacity ring buffer of time-series samples.
+//!
+//! The sampler keeps a bounded history of registry snapshots — enough
+//! to answer "what happened over the last minute" — with O(1) push and
+//! strictly bounded memory, no matter how long the process runs.
+
+/// A fixed-capacity FIFO ring: pushing onto a full ring drops the
+/// oldest element. Iteration runs oldest → newest.
+#[derive(Debug)]
+pub struct Ring<T> {
+    buf: std::collections::VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Ring<T> {
+    /// An empty ring holding at most `capacity` elements.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring { buf: std::collections::VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Append `value`, evicting the oldest element when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The maximum number of elements the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The newest element, if any.
+    pub fn latest(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// The oldest element, if any.
+    pub fn oldest(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest_when_full() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        let held: Vec<i32> = r.iter().copied().collect();
+        assert_eq!(held, vec![2, 3, 4], "oldest elements dropped first");
+        assert_eq!(r.oldest(), Some(&2));
+        assert_eq!(r.latest(), Some(&4));
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_latest() {
+        let mut r = Ring::new(1);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.latest(), Some(&"b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = Ring::<u8>::new(0);
+    }
+}

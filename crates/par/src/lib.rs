@@ -143,6 +143,17 @@ mod tests {
     }
 
     #[test]
+    fn inflight_gauge_returns_to_zero_after_region() {
+        bs_telemetry::enable();
+        let gauge = bs_telemetry::registry().gauge("par.inflight");
+        let before = gauge.get();
+        let _ = with_override(4, || par_map_range(500, |i| i * 2));
+        // Concurrent tests also run regions; the invariant is that each
+        // region nets to zero, so ours must not leave residue.
+        assert_eq!(gauge.get(), before, "par.inflight leaked after a region");
+    }
+
+    #[test]
     fn nested_par_map_stays_bounded_and_correct() {
         // Outer 4-wide map, each task runs an inner map; inner maps
         // must fall back to sequential inside workers, and the result

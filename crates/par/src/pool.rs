@@ -182,6 +182,10 @@ where
     let _span = bs_telemetry::span("par.run");
     let ctx = bs_trace::current_context();
     bs_telemetry::gauge_set("par.threads", t as i64);
+    // Region depth for the live watchdog's backlog rule: tasks still
+    // queued or running across all concurrent regions. Net zero after
+    // every region, so a scrape seeing it high means work in flight.
+    bs_telemetry::gauge_add("par.inflight", n as i64);
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..t)
         .map(|w| {
             let lo = w * n / t;
@@ -215,6 +219,7 @@ where
 
     bs_telemetry::counter_add("par.tasks", n as u64);
     bs_telemetry::counter_add("par.steals", steals.load(Ordering::Relaxed));
+    bs_telemetry::gauge_add("par.inflight", -(n as i64));
 
     // Reassemble in task-index order, independent of execution order.
     let mut out: Vec<Option<U>> = Vec::with_capacity(n);

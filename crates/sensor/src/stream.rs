@@ -58,6 +58,13 @@ use bs_netsim::log::QueryLogRecord;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// The smallest probation table graceful degradation may shrink to:
+/// enough to keep admitting genuinely heavy hitters even under a
+/// critical-pressure storm.
+const MIN_PRESSURE_PROBATION_CAP: usize = 16;
 
 /// Streaming-sensor configuration.
 #[derive(Debug, Clone, Copy)]
@@ -165,6 +172,9 @@ pub struct StreamingSensor {
     /// Lifetime count of lazy-heap pops — the eviction-cost
     /// diagnostic the storm regression test bounds.
     heap_pops: u64,
+    /// Backpressure cell shared with the bs-live watchdog (`0` ok,
+    /// `1` degraded, `2` critical). `None` = no watchdog attached.
+    pressure: Option<Arc<AtomicU8>>,
 }
 
 impl StreamingSensor {
@@ -187,7 +197,34 @@ impl StreamingSensor {
             started: false,
             tally: Tallies::default(),
             heap_pops: 0,
+            pressure: None,
         }
+    }
+
+    /// Attach a shared pressure cell (typically the bs-live watchdog's
+    /// `HealthState`). Under pressure the sensor tightens its probation
+    /// decay — the admission side-table shrinks to 1/4 of its cap when
+    /// degraded (`1`) and 1/16 when critical (`2`), so wholesale
+    /// probation clears fire sooner and storm memory drains faster,
+    /// while already-tracked heavy hitters stay exact.
+    pub fn set_pressure_hook(&mut self, hook: Arc<AtomicU8>) {
+        self.pressure = Some(hook);
+    }
+
+    /// The probation cap currently in force, after graceful
+    /// degradation. One relaxed atomic load on the (already slow)
+    /// table-full path; free when no hook is attached.
+    fn effective_probation_cap(&self) -> usize {
+        let level = match &self.pressure {
+            Some(cell) => cell.load(Ordering::Relaxed),
+            None => 0,
+        };
+        let cap = match level {
+            0 => self.probation_cap,
+            1 => self.probation_cap / 4,
+            _ => self.probation_cap / 16,
+        };
+        cap.max(MIN_PRESSURE_PROBATION_CAP.min(self.probation_cap))
     }
 
     /// Feed one record (records must arrive in time order). Returns the
@@ -340,7 +377,7 @@ impl StreamingSensor {
             // window — and clears wholesale when full (counts already
             // credited to `probation_held` move to `probation_dropped`
             // so the conservation ledger still balances).
-            if self.probation.len() >= self.probation_cap
+            if self.probation.len() >= self.effective_probation_cap()
                 && !self.probation.contains_key(&originator)
             {
                 let dropped: u64 = self.probation.values().map(|&c| c as u64).sum();
@@ -776,6 +813,72 @@ mod tests {
         assert_eq!(w.observations.per_originator.len(), 4, "tracked set unaffected by the storm");
         let after = bs_telemetry::registry().counter("sensor.stream.probation_resets").get();
         assert!(after > before, "cap resets must be counted");
+    }
+
+    #[test]
+    fn pressure_hook_tightens_probation_decay() {
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 4,
+            admission_queries: 100, // nothing admits: pure probation load
+            probation_cap: 4_096,
+            ..Default::default()
+        };
+        let hook = Arc::new(AtomicU8::new(0));
+        let mut sensor = StreamingSensor::new(cfg);
+        sensor.set_pressure_hook(Arc::clone(&hook));
+        for o in 0..4u32 {
+            sensor.push(rec(o as u64, o, o));
+        }
+        // Healthy: the full probation cap is in force.
+        for o in 0..2_000u32 {
+            sensor.push(rec(100 + o as u64, o % 100, 1_000 + o));
+        }
+        assert_eq!(sensor.tally.probation_resets, 0, "2000 < 4096: no reset while healthy");
+        assert_eq!(sensor.probation.len(), 2_000);
+
+        // The watchdog flips to degraded: cap shrinks to 1024, so the
+        // next newcomer finds the table over-full and clears it.
+        hook.store(1, Ordering::Relaxed);
+        sensor.push(rec(10_000, 1, 50_000));
+        assert_eq!(sensor.tally.probation_resets, 1, "degraded cap forces the decay");
+        assert!(sensor.probation.len() <= 1_024);
+
+        // Critical shrinks it to 256.
+        hook.store(2, Ordering::Relaxed);
+        for o in 0..400u32 {
+            sensor.push(rec(20_000 + o as u64, o % 100, 60_000 + o));
+        }
+        assert!(sensor.probation.len() <= 256, "critical cap: {}", sensor.probation.len());
+        assert!(sensor.tally.probation_resets >= 2);
+
+        // Recovery restores the configured cap; tracked set unharmed.
+        hook.store(0, Ordering::Relaxed);
+        assert_eq!(sensor.effective_probation_cap(), 4_096);
+        let w = sensor.finish().expect("window");
+        assert_eq!(w.observations.per_originator.len(), 4, "tracked heavy hitters survive");
+    }
+
+    #[test]
+    fn pressure_floor_keeps_a_minimum_probation_table() {
+        // Even critical pressure must not shrink probation below the
+        // floor (or below a deliberately tiny configured cap).
+        let cfg = StreamConfig {
+            window: SimDuration::from_days(1),
+            max_originators: 4,
+            admission_queries: 100,
+            probation_cap: 64,
+            ..Default::default()
+        };
+        let hook = Arc::new(AtomicU8::new(2));
+        let mut sensor = StreamingSensor::new(cfg);
+        sensor.set_pressure_hook(Arc::clone(&hook));
+        assert_eq!(sensor.effective_probation_cap(), 16, "64/16=4 clamps up to the floor");
+
+        let tiny = StreamConfig { probation_cap: 8, ..cfg };
+        let mut sensor = StreamingSensor::new(tiny);
+        sensor.set_pressure_hook(hook);
+        assert_eq!(sensor.effective_probation_cap(), 8, "caps below the floor are kept as-is");
     }
 
     #[test]

@@ -57,7 +57,10 @@ mod metrics;
 mod registry;
 mod span;
 
-pub use logger::{log_emit, log_enabled, set_log_format, set_max_log_level, Level, LogFormat};
+pub use logger::{
+    log_emit, log_enabled, set_log_format, set_max_log_level, Level, LogFormat, LogSite,
+    SITE_BURST, SITE_REFILL_PER_SEC,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Registry, Snapshot};
 pub use span::Span;

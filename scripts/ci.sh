@@ -23,6 +23,9 @@ cargo clippy -p bs-fastmap --all-targets -- -D warnings
 echo "=== cargo clippy bs-mlcore (the ML fast-path core, separately)"
 cargo clippy -p bs-mlcore --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-live (the live observability layer, separately)"
+cargo clippy -p bs-live --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
 
@@ -34,6 +37,9 @@ cargo test -q -p bs-fastmap
 
 echo "=== cargo test bs-mlcore (standalone, zero-dep)"
 cargo test -q -p bs-mlcore
+
+echo "=== cargo test bs-live (the live observability layer)"
+cargo test -q -p bs-live
 
 echo "=== ML fast-path equivalence (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q -p bs-ml --test mlcore_equivalence
@@ -59,8 +65,34 @@ trap 'rm -rf "$trace_tmp"' EXIT
 target/release/backscatter simulate --dataset JP-ditl --scale smoke \
     --seed 5 --out "$trace_tmp/jp.tsv" --trace "$trace_tmp/trace.json"
 # `backscatter trace` parses the file with the bs-trace JSON parser
-# and fails on anything that is not a trace-event document.
-target/release/backscatter trace --file "$trace_tmp/trace.json" \
-    | grep -q "cli.simulate"
+# and fails on anything that is not a trace-event document. Capture
+# rather than pipe into grep -q: -q closes the pipe on first match
+# and the writer would die on EPIPE.
+trace_out="$(target/release/backscatter trace --file "$trace_tmp/trace.json")"
+grep -q "cli.simulate" <<<"$trace_out"
+
+echo "=== CLI smoke: stream --serve answers a live scrape"
+target/release/backscatter stream --log "$trace_tmp/jp.tsv" --window 600 \
+    --serve 127.0.0.1:0 --linger 6 > "$trace_tmp/stream.out" &
+stream_pid=$!
+# The binary prints the ephemeral port before ingest starts.
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^live: listening on //p' "$trace_tmp/stream.out" | head -n1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "stream --serve never announced its address"; exit 1; }
+# One scrape through the same client path users get: stats --watch.
+# Capture rather than pipe into grep -q: -q closes the pipe on first
+# match and the writer would die on EPIPE.
+watch_out="$(target/release/backscatter stats --watch "$addr" --iterations 1)"
+grep -q "health=" <<<"$watch_out"
+wait "$stream_pid"
+
+echo "=== perf gate: fresh run vs committed BENCH_pipeline.json"
+# Baselines of -1 are placeholders (record, don't gate); the gate
+# still runs the full measurement suite and its equivalence asserts.
+cargo run --release -q -p bench --bin perf_gate
 
 echo "=== ci: all green"

@@ -16,8 +16,10 @@
 use dns_backscatter::netsim::capture::{read_capture, write_capture};
 use dns_backscatter::netsim::log::QueryLog;
 use dns_backscatter::prelude::*;
+use dns_backscatter::sensor::StreamConfig;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +61,32 @@ fn main() -> ExitCode {
         dns_backscatter::trace::enable();
         dns_backscatter::trace::install_panic_hook();
     }
+    // --serve <addr> works on every subcommand: start the bs-live
+    // stack (registry sampler + HTTP scrape endpoint + health
+    // watchdog) before the command runs and keep it up until exit.
+    // The bound address is printed so `--serve 127.0.0.1:0` callers
+    // can discover the ephemeral port.
+    let live_handle = match flags.get("serve") {
+        Some(addr) => {
+            match dns_backscatter::live::serve(addr, dns_backscatter::live::LiveConfig::default()) {
+                Ok(h) => {
+                    println!("live: listening on {}", h.addr());
+                    dns_backscatter::telemetry::info!(
+                        "cli",
+                        "live endpoint up";
+                        addr = h.addr(),
+                        routes = "/metrics /snapshot /health /trace/summary",
+                    );
+                    Some(h)
+                }
+                Err(e) => {
+                    eprintln!("error: --serve {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     let result = {
         // Root of the causal span tree (inert without --trace); must
         // drop before the export drains the recorder.
@@ -70,6 +98,7 @@ fn main() -> ExitCode {
             "train" => cmd_train(&flags),
             "report" => cmd_report(&flags),
             "capture" => cmd_capture(&flags),
+            "stream" => cmd_stream(&flags, live_handle.as_ref()),
             "stats" => cmd_stats(&flags),
             "trace" => cmd_trace(&flags),
             "help" | "--help" | "-h" => {
@@ -132,6 +161,7 @@ fn root_span_name(command: &str) -> &'static str {
         "train" => "cli.train",
         "report" => "cli.report",
         "capture" => "cli.capture",
+        "stream" => "cli.stream",
         "stats" => "cli.stats",
         "trace" => "cli.trace",
         _ => "cli.run",
@@ -198,9 +228,126 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `backscatter stream`: replay a query log through the streaming
+/// sensor as a long-running process — optionally paced to a target
+/// records/second — with the bs-live observability stack attached via
+/// the global `--serve` flag.
+fn cmd_stream(
+    flags: &Flags,
+    live: Option<&dns_backscatter::live::LiveHandle>,
+) -> Result<(), String> {
+    let log = load_log(flags)?;
+    let window_secs: u64 = match flags.get("window") {
+        None => 3600,
+        Some(s) => s.parse().map_err(|_| format!("bad --window {s:?} (seconds)"))?,
+    };
+    let max_originators: usize = match flags.get("max-originators") {
+        None => StreamConfig::default().max_originators,
+        Some(s) => s.parse().map_err(|_| format!("bad --max-originators {s:?}"))?,
+    };
+    let pace_rps: u64 = match flags.get("pace") {
+        None => 0,
+        Some(s) => {
+            s.parse().map_err(|_| format!("bad --pace {s:?} (records/sec, 0 = flat out)"))?
+        }
+    };
+    let config = StreamConfig {
+        window: SimDuration::from_secs(window_secs.max(1)),
+        max_originators,
+        ..StreamConfig::default()
+    };
+    // The live view is useless without a recording registry; --serve
+    // already enabled it, but `stream` records even when run bare so
+    // --metrics output is always populated.
+    dns_backscatter::telemetry::enable();
+    let stats =
+        dns_backscatter::stream::run_live_stream(log.records(), config, live, pace_rps, |w| {
+            println!(
+                "window [{}s, {}s): {} originators, {} evicted",
+                w.window.0.secs(),
+                w.window.1.secs(),
+                w.observations.per_originator.len(),
+                w.evicted,
+            );
+        });
+    println!(
+        "stream: {} records in {} windows, {} evicted",
+        stats.records, stats.windows, stats.evicted
+    );
+    if let Some(linger) = flags.get("linger") {
+        let secs: u64 = linger.parse().map_err(|_| format!("bad --linger {linger:?} (seconds)"))?;
+        if live.is_some() {
+            println!("lingering {secs}s (scrape endpoint stays up)…");
+        }
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+    Ok(())
+}
+
+/// `backscatter stats --watch <addr>`: poll a live `/snapshot`
+/// endpoint and print a refreshing rate table.
+fn cmd_stats_watch(flags: &Flags, target: &str) -> Result<(), String> {
+    let addr: std::net::SocketAddr =
+        target.parse().map_err(|_| format!("bad --watch address {target:?} (ip:port)"))?;
+    let iterations: u64 = match flags.get("iterations") {
+        None => 0, // 0 = poll forever
+        Some(s) => s.parse().map_err(|_| format!("bad --iterations {s:?}"))?,
+    };
+    let interval_ms: u64 = match flags.get("interval-ms") {
+        None => 1000,
+        Some(s) => s.parse().map_err(|_| format!("bad --interval-ms {s:?}"))?,
+    };
+    let mut done = 0u64;
+    loop {
+        let (code, body) = dns_backscatter::live::http_get(addr, "/snapshot")
+            .map_err(|e| format!("scrape {addr}: {e}"))?;
+        if code != 200 {
+            return Err(format!("{addr}/snapshot answered HTTP {code}"));
+        }
+        let v = dns_backscatter::trace::json::parse(&body)
+            .map_err(|e| format!("bad /snapshot JSON from {addr}: {e}"))?;
+        let health = v.get("health").and_then(|h| h.as_str()).unwrap_or("?");
+        let ticks = v.get("ticks").and_then(|t| t.as_f64()).unwrap_or(0.0);
+        let mut rates: Vec<(String, f64, f64, f64)> = v
+            .get("rates")
+            .and_then(|r| r.as_object())
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|(name, rv)| {
+                        Some((
+                            name.clone(),
+                            rv.get("r10s")?.as_f64()?,
+                            rv.get("ewma")?.as_f64()?,
+                            rv.get("total")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        rates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        });
+        println!("health={health} ticks={ticks:.0} counters={}", rates.len());
+        println!("  {:>12}  {:>12}  {:>12}  counter", "r10s/s", "ewma/s", "total");
+        for (name, r10, ewma, total) in rates.iter().take(12) {
+            println!("  {r10:>12.1}  {ewma:>12.1}  {total:>12.0}  {name}");
+        }
+        done += 1;
+        if iterations > 0 && done >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+        println!();
+    }
+}
+
 /// `backscatter stats`: describe the telemetry surface, or dump a live
 /// snapshot of the current process (mostly useful with --format).
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    if let Some(target) = flags.get("watch") {
+        return cmd_stats_watch(flags, target);
+    }
     match flags.get("format").map(String::as_str) {
         None | Some("help") => {
             println!(
@@ -225,10 +372,21 @@ metric naming: dotted crate.stage names, e.g.
   core.curate/.retrain/.classify   per-stage latency histograms (ns)
   par.tasks/.steals          work-stealing pool tasks run and steals
   par.threads                gauge: resolved pool size
+  par.inflight               gauge: tasks inside active parallel regions
   par.run                    latency histogram per parallel region (ns)
   log.error/.warn/.info/.debug     logger event counts
+  telemetry.log.suppressed   log lines dropped by per-site rate limits
+  live.ticks                 gauge: samples taken by the live sampler
+  live.health.status         gauge: watchdog state (0 ok, 1 degraded,
+                             2 critical; also served at /health)
+  live.health.transitions    aggregate watchdog state changes
+  live.ledger.imbalances     gauge: live conservation violations
 
-histograms report count, sum, max, p50, p90, p99 in nanoseconds.
+histograms report count, sum, max, p50, p90, p99 in nanoseconds
+(quantiles are interpolated within log-spaced buckets, ≤12.5% error).
+live monitoring: add --serve <ip:port> to any command to scrape
+/metrics, /snapshot, /health, and /trace/summary while it runs;
+follow along with `backscatter stats --watch <ip:port>`.
 logging: set BS_LOG=off|error|warn|info|debug (default info) and
 BS_LOG_FORMAT=text|json (default text; json emits one object per
 line: ts_ms, level, target, message, kvs).
@@ -280,12 +438,23 @@ commands:
             classify all windows and print a situation report
   capture   --log <log.tsv> --out <file.bscap>   convert TSV → packet capture
   capture   --capture <file.bscap> --out <log.tsv>   and back
+  stream    --log <log.tsv> [--window S] [--max-originators N]
+            [--pace RPS] [--linger S]
+            replay a log through the streaming sensor as a live
+            process; --pace throttles to records/sec, --linger keeps
+            the process (and any --serve endpoint) up after ingest
   stats     [--format help|json|prometheus]
             describe the telemetry metrics, or dump a snapshot
+  stats     --watch <ip:port> [--iterations N] [--interval-ms M]
+            poll a --serve endpoint's /snapshot and print live rates
   trace     --file <trace.json>
             inspect a --trace output: phases, lanes, hottest spans
 
-every command accepts --metrics <path> to write a JSON telemetry
+every command accepts --serve <ip:port> to expose live observability
+over HTTP while it runs (/metrics Prometheus text, /snapshot JSON
+with windowed rates, /health with watchdog status, /trace/summary;
+port 0 picks an ephemeral port, printed on stdout), --metrics <path>
+to write a JSON telemetry
 snapshot (counters, gauges, latency histograms) on success, --trace
 <path> to record a causal trace and write Chrome trace-event JSON
 (open in Perfetto / chrome://tracing), and --threads <N> to size the
