@@ -145,6 +145,62 @@ fn ingest_throughput() -> [(&'static str, i64); 5] {
     ]
 }
 
+/// Sharded streaming ingest throughput at 1/2/4/8 lanes over the same
+/// storm log, with the `bs-par` pool sized to the lane count — the
+/// multi-core scaling curve. Before anything is recorded, every lane
+/// count's output is asserted equal to the sequential single-shard
+/// reference (the shard topology makes output lane-count invariant);
+/// a parallel-efficiency gauge (`rps₄ / (4 × rps₁)`, in milli)
+/// summarizes the curve for the perf gate. On a 1-core host the rps
+/// gauges record honestly flat numbers and efficiency sits near 250.
+fn scaling_throughput() -> Vec<(String, i64)> {
+    use backscatter_core::sensor::{ReferenceShardedStreamingSensor, ShardedStreamingSensor};
+    let log = ingest_log();
+    let cfg = StreamConfig {
+        window: SimDuration::from_secs(INGEST_SPAN_SECS + 1),
+        max_originators: 20_000,
+        admission_queries: 2,
+        ..Default::default()
+    };
+
+    let mut reference = ReferenceShardedStreamingSensor::new(cfg);
+    let mut expect = Vec::new();
+    for r in log.records() {
+        if let Some(w) = reference.push(*r) {
+            expect.push(w);
+        }
+    }
+    expect.extend(reference.finish());
+
+    let mut gauges = Vec::new();
+    let mut curve = Vec::new();
+    for lanes in [1usize, 2, 4, 8] {
+        backscatter_core::par::set_threads(lanes);
+        let (rate, got) = rps(log.len(), || {
+            let mut s = ShardedStreamingSensor::new(cfg, lanes);
+            let mut out = Vec::new();
+            for r in log.records() {
+                if let Some(w) = s.push(*r) {
+                    out.push(w);
+                }
+            }
+            out.extend(s.finish());
+            out
+        });
+        assert_eq!(
+            got, expect,
+            "{lanes}-lane sharded output must equal the sequential sharded reference"
+        );
+        curve.push(rate);
+        gauges.push((format!("bench.ingest.scaling.shards{lanes}_rps"), rate));
+    }
+    backscatter_core::par::set_threads(0);
+    // 1000 = perfect linear 1→4 scaling; 250 = no scaling at all.
+    let efficiency = curve[2].saturating_mul(1000) / (4 * curve[0]).max(1);
+    gauges.push(("bench.ingest.scaling.parallel_efficiency_milli".to_string(), efficiency));
+    gauges
+}
+
 /// ML training/prediction throughput, columnar fast paths vs retained
 /// references, on a fixed-seed dataset shaped like one B-root window
 /// (≈600 originators × 22 features × 12 classes). Runs single-threaded
@@ -226,6 +282,10 @@ pub fn measure_all() -> MeasureSummary {
     let ml_gauges = ml_throughput();
     backscatter_core::par::set_threads(0);
 
+    // Sharded-ingest scaling curve, still with telemetry off; sizes
+    // the pool per lane count and restores the default width after.
+    let scaling_gauges = scaling_throughput();
+
     let t0 = Instant::now();
     let classified_off = run_pipeline(&world);
     let off_ms = t0.elapsed().as_millis() as i64;
@@ -289,6 +349,11 @@ pub fn measure_all() -> MeasureSummary {
     // `bs-mlcore` columnar fast paths vs the retained references.
     for (name, value) in ml_gauges {
         backscatter_core::telemetry::gauge_set(name, value);
+    }
+    // Sharded-ingest scaling: streaming rps at 1/2/4/8 lanes plus the
+    // 1→4 parallel-efficiency summary, equivalence-asserted per count.
+    for (name, value) in &scaling_gauges {
+        backscatter_core::telemetry::gauge_set(name, *value);
     }
 
     MeasureSummary {

@@ -1,19 +1,27 @@
 //! The live streaming driver: a long-running sensor process with the
 //! bs-live observability stack attached.
 //!
-//! [`run_live_stream`] feeds a query log through a
-//! [`StreamingSensor`] one record at a time — optionally *paced* to a
-//! target records-per-second so a replayed log exercises the system
-//! the way a real tap would — while a [`bs_live::LiveHandle`] (when
-//! attached) samples the registry, serves scrapes, and runs the health
-//! watchdog. The watchdog's shared [`bs_live::HealthState`] is wired
-//! into the sensor as its pressure hook, closing the graceful-
-//! degradation loop: an eviction storm trips the watchdog, the sensor
-//! tightens its probation decay, the storm's memory footprint drains,
-//! and the watchdog clears.
+//! [`run_live_stream`] feeds a query log through a streaming sensor
+//! one record at a time — optionally *paced* to a target
+//! records-per-second so a replayed log exercises the system the way a
+//! real tap would — while a [`bs_live::LiveHandle`] (when attached)
+//! samples the registry, serves scrapes, and runs the health watchdog.
+//! The watchdog's shared [`bs_live::HealthState`] is wired into the
+//! sensor as its pressure hook, closing the graceful-degradation loop:
+//! an eviction storm trips the watchdog, the sensor tightens its
+//! probation decay, the storm's memory footprint drains, and the
+//! watchdog clears. With more than one shard the hook broadcasts to
+//! every lane.
+//!
+//! The `shards` parameter picks the engine: `1` keeps the plain
+//! [`StreamingSensor`] (the retained single-shard path), `> 1` runs
+//! the hash-sharded [`ShardedStreamingSensor`] for multi-core scaling,
+//! and `0` sizes automatically from the `bs-par` pool (`BS_THREADS` /
+//! core count). Output is identical either way — the shard topology
+//! guarantees it, and the proptests in `bs-sensor` pin it down.
 
 use bs_netsim::log::QueryLogRecord;
-use bs_sensor::{StreamConfig, StreamingSensor, WindowSummary};
+use bs_sensor::{ShardedStreamingSensor, StreamConfig, StreamingSensor, WindowSummary};
 use std::time::{Duration, Instant};
 
 /// What one [`run_live_stream`] call did.
@@ -32,9 +40,41 @@ pub struct StreamRunStats {
 /// cycle honest at any realistic rate.
 const PACE_BATCH: u64 = 64;
 
+/// Resolve a requested shard count: `0` = auto-size from the `bs-par`
+/// pool (`BS_THREADS` override, else core count), anything else is
+/// clamped to `1..=SHARD_SLICES`.
+pub fn resolve_shards(requested: usize) -> usize {
+    let n = if requested == 0 { bs_par::threads() } else { requested };
+    n.clamp(1, bs_sensor::SHARD_SLICES)
+}
+
+/// The two ingest engines behind one driver loop.
+enum Engine {
+    Single(Box<StreamingSensor>),
+    Sharded(Box<ShardedStreamingSensor>),
+}
+
+impl Engine {
+    fn push(&mut self, r: QueryLogRecord) -> Option<WindowSummary> {
+        match self {
+            Engine::Single(s) => s.push(r),
+            Engine::Sharded(s) => s.push(r),
+        }
+    }
+
+    fn finish(self) -> Option<WindowSummary> {
+        match self {
+            Engine::Single(s) => s.finish(),
+            Engine::Sharded(s) => s.finish(),
+        }
+    }
+}
+
 /// Stream `records` through a sensor configured by `config`, invoking
 /// `on_window` for every completed window (and the final partial one).
 ///
+/// * `shards`: ingest lanes — see [`resolve_shards`]; `1` is the plain
+///   single sensor, `0` auto-sizes.
 /// * `live`: when given, its health state becomes the sensor's
 ///   pressure hook and a sample is forced at every window boundary so
 ///   scrapes see fresh window counters immediately.
@@ -46,6 +86,7 @@ const PACE_BATCH: u64 = 64;
 pub fn run_live_stream<F>(
     records: &[QueryLogRecord],
     config: StreamConfig,
+    shards: usize,
     live: Option<&bs_live::LiveHandle>,
     pace_rps: u64,
     mut on_window: F,
@@ -54,10 +95,22 @@ where
     F: FnMut(&WindowSummary),
 {
     let _span = bs_telemetry::span("core.stream");
-    let mut sensor = StreamingSensor::new(config);
-    if let Some(handle) = live {
-        sensor.set_pressure_hook(handle.health_state());
-    }
+    let mut engine = match resolve_shards(shards) {
+        1 => {
+            let mut sensor = StreamingSensor::new(config);
+            if let Some(handle) = live {
+                sensor.set_pressure_hook(handle.health_state());
+            }
+            Engine::Single(Box::new(sensor))
+        }
+        n => {
+            let mut sensor = ShardedStreamingSensor::new(config, n);
+            if let Some(handle) = live {
+                sensor.set_pressure_hook(handle.health_state());
+            }
+            Engine::Sharded(Box::new(sensor))
+        }
+    };
 
     let started = Instant::now();
     let mut stats = StreamRunStats { records: 0, windows: 0, evicted: 0 };
@@ -71,7 +124,7 @@ where
             }
         }
         stats.records += 1;
-        if let Some(w) = sensor.push(*r) {
+        if let Some(w) = engine.push(*r) {
             stats.windows += 1;
             stats.evicted += w.evicted;
             if let Some(handle) = live {
@@ -80,7 +133,7 @@ where
             on_window(&w);
         }
     }
-    if let Some(w) = sensor.finish() {
+    if let Some(w) = engine.finish() {
         stats.windows += 1;
         stats.evicted += w.evicted;
         on_window(&w);
@@ -96,7 +149,7 @@ mod tests {
     use super::*;
     use bs_dns::{SimDuration, SimTime};
     use bs_netsim::log::QueryLogRecord;
-    use bs_sensor::ReferenceStreamingSensor;
+    use bs_sensor::{ReferenceShardedStreamingSensor, ReferenceStreamingSensor};
 
     fn rec(t: u64, q: u32, o: u32) -> QueryLogRecord {
         QueryLogRecord {
@@ -124,7 +177,7 @@ mod tests {
         let cfg = StreamConfig { window: SimDuration::from_secs(100), ..Default::default() };
 
         let mut driven = Vec::new();
-        let stats = run_live_stream(&records, cfg, None, 0, |w| driven.push(w.clone()));
+        let stats = run_live_stream(&records, cfg, 1, None, 0, |w| driven.push(w.clone()));
         assert_eq!(stats.records, records.len() as u64);
         assert_eq!(stats.windows, driven.len());
 
@@ -142,12 +195,46 @@ mod tests {
     }
 
     #[test]
+    fn sharded_driver_matches_sharded_reference() {
+        let records = sample_records();
+        let cfg = StreamConfig { window: SimDuration::from_secs(100), ..Default::default() };
+
+        let mut reference = ReferenceShardedStreamingSensor::new(cfg);
+        let mut expect = Vec::new();
+        for r in &records {
+            if let Some(w) = reference.push(*r) {
+                expect.push(w);
+            }
+        }
+        if let Some(w) = reference.finish() {
+            expect.push(w);
+        }
+
+        for shards in [2, 4, 8] {
+            let mut driven = Vec::new();
+            let stats = run_live_stream(&records, cfg, shards, None, 0, |w| driven.push(w.clone()));
+            assert_eq!(stats.records, records.len() as u64);
+            assert_eq!(driven, expect, "shards={shards}: output must be shard-count invariant");
+        }
+    }
+
+    #[test]
+    fn shard_resolution_clamps_and_autosizes() {
+        assert_eq!(resolve_shards(1), 1);
+        assert_eq!(resolve_shards(4), 4);
+        assert_eq!(resolve_shards(10_000), bs_sensor::SHARD_SLICES);
+        let auto = resolve_shards(0);
+        assert!((1..=bs_sensor::SHARD_SLICES).contains(&auto));
+        assert_eq!(auto, bs_par::threads().clamp(1, bs_sensor::SHARD_SLICES));
+    }
+
+    #[test]
     fn pacing_slows_replay_to_the_target_rate() {
         let records = sample_records();
         let cfg = StreamConfig { window: SimDuration::from_secs(100), ..Default::default() };
         let started = Instant::now();
         // 150 records at 1000 rps ≥ 150 ms of wall clock.
-        let stats = run_live_stream(&records, cfg, None, 1_000, |_| {});
+        let stats = run_live_stream(&records, cfg, 1, None, 1_000, |_| {});
         assert_eq!(stats.records, 150);
         let elapsed = started.elapsed();
         assert!(

@@ -41,7 +41,7 @@ pub mod server;
 pub mod watchdog;
 
 pub use ring::Ring;
-pub use series::{CounterRates, Sample, Sampler, SeriesConfig};
+pub use series::{CounterRates, Sample, Sampler, SeriesConfig, ShardSkew};
 pub use server::{http_get, spawn as spawn_server, ServerHandle};
 pub use watchdog::{health_state, Health, HealthState, Rule, Severity, Signal, Watchdog};
 
@@ -81,10 +81,13 @@ impl Default for LiveConfig {
         // Storm thresholds for the default single-process sensor:
         // sustained evictions above 2000/s or probation resets above
         // 100/s mean the working set no longer fits; a par backlog of
-        // 256 queued tasks means workers are drowning.
+        // 256 queued tasks means workers are drowning; 100k records
+        // parked at a shard drain barrier means the lanes have stopped
+        // keeping up with the reader (the BSP design bounds backlog at
+        // lanes × queue cap, so this only trips on misconfiguration).
         LiveConfig {
             series: SeriesConfig::default(),
-            rules: Watchdog::default_rules(2_000.0, 100.0, 256.0),
+            rules: Watchdog::default_rules(2_000.0, 100.0, 256.0, 100_000.0),
         }
     }
 }
@@ -152,8 +155,9 @@ impl LiveLoop {
     }
 
     /// The `/snapshot` body: timestamp, health, derived per-counter
-    /// rates, and the full registry snapshot (counters, gauges,
-    /// histograms with p50/p90/p99).
+    /// rates, the shard-skew view (null when running unsharded), and
+    /// the full registry snapshot (counters, gauges, histograms with
+    /// p50/p90/p99).
     pub fn snapshot_json(&self) -> String {
         let (at_ms, registry_json) = match self.sampler.latest() {
             Some(s) => (s.at_ms as i64, s.snapshot.to_json()),
@@ -162,12 +166,20 @@ impl LiveLoop {
         // Indent the embedded registry document two spaces so the
         // composite stays readable under `curl | less`.
         let registry_json = registry_json.replace('\n', "\n  ");
+        let shard_skew = match self.sampler.shard_skew(10_000) {
+            Some(s) => format!(
+                "{{ \"lanes\": {}, \"max_rps\": {:.3}, \"mean_rps\": {:.3}, \"skew\": {:.3} }}",
+                s.lanes, s.max_rps, s.mean_rps, s.skew
+            ),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\n  \"at_ms\": {},\n  \"health\": \"{}\",\n  \"ticks\": {},\n  \"rates\": {},\n  \"registry\": {}\n}}",
+            "{{\n  \"at_ms\": {},\n  \"health\": \"{}\",\n  \"ticks\": {},\n  \"rates\": {},\n  \"shard_skew\": {},\n  \"registry\": {}\n}}",
             at_ms,
             self.health().as_str(),
             self.sampler.ticks(),
             self.sampler.rates_json(),
+            shard_skew,
             registry_json
         )
     }
@@ -308,6 +320,32 @@ mod tests {
         let v = bs_trace::json::parse(&live.snapshot_json()).expect("parses");
         assert_eq!(v.get("at_ms").and_then(|t| t.as_f64()), Some(-1.0));
         assert_eq!(v.get("ticks").and_then(|t| t.as_f64()), Some(0.0));
+        assert!(
+            matches!(v.get("shard_skew"), Some(bs_trace::json::Value::Null)),
+            "no shard counters → shard_skew is null"
+        );
+    }
+
+    #[test]
+    fn snapshot_json_reports_shard_skew_when_sharded() {
+        let mut live = LiveLoop::new(LiveConfig::default());
+        let mk = |a: u64, b: u64| {
+            let r = bs_telemetry::Registry::new();
+            r.counter("sensor.shard.0.ingested").add(a);
+            r.counter("sensor.shard.1.ingested").add(b);
+            r.snapshot()
+        };
+        live.tick(0, mk(0, 0));
+        live.tick(1_000, mk(300, 100));
+        let v = bs_trace::json::parse(&live.snapshot_json()).expect("parses");
+        let skew = v.get("shard_skew").expect("shard counters → skew object");
+        assert_eq!(skew.get("lanes").and_then(|l| l.as_f64()), Some(2.0));
+        let max = skew.get("max_rps").and_then(|m| m.as_f64()).expect("max_rps");
+        assert!((max - 300.0).abs() < 1e-6, "busiest lane rate, got {max}");
+        let mean = skew.get("mean_rps").and_then(|m| m.as_f64()).expect("mean_rps");
+        assert!((mean - 200.0).abs() < 1e-6, "mean lane rate, got {mean}");
+        let s = skew.get("skew").and_then(|m| m.as_f64()).expect("skew");
+        assert!((s - 1.5).abs() < 1e-6, "max 300 / mean 200 → 1.5, got {s}");
     }
 
     #[test]

@@ -68,6 +68,20 @@ pub struct CounterRates {
     pub ewma: f64,
 }
 
+/// Shard load balance derived from the `sensor.shard.<i>.ingested`
+/// counters: how evenly the hash partition spreads live traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSkew {
+    /// Shard lanes observed (counters present in the latest sample).
+    pub lanes: usize,
+    /// The busiest lane's ingest rate over the window (records/s).
+    pub max_rps: f64,
+    /// Mean per-lane ingest rate over the window (records/s).
+    pub mean_rps: f64,
+    /// `max / mean` — `1.0` is perfectly even; `0.0` when idle.
+    pub skew: f64,
+}
+
 /// The time-series engine over the metrics registry.
 #[derive(Debug)]
 pub struct Sampler {
@@ -173,6 +187,33 @@ impl Sampler {
     pub fn gauge(&self, name: &str) -> Option<i64> {
         let newest = self.ring.latest()?;
         Some(newest.snapshot.gauges.get(name).copied().unwrap_or(0))
+    }
+
+    /// The per-shard load view over `window_ms`, derived from the
+    /// `sensor.shard.<i>.ingested` counters the sharded streaming
+    /// sensor emits at each window flush. `None` until a sample shows
+    /// at least one shard counter (i.e. the process runs unsharded).
+    pub fn shard_skew(&self, window_ms: u64) -> Option<ShardSkew> {
+        let newest = self.ring.latest()?;
+        let lanes: Vec<&String> = newest
+            .snapshot
+            .counters
+            .keys()
+            .filter(|n| n.starts_with("sensor.shard.") && n.ends_with(".ingested"))
+            .collect();
+        if lanes.is_empty() {
+            return None;
+        }
+        let mut max_rps = 0.0f64;
+        let mut sum = 0.0f64;
+        for name in &lanes {
+            let r = self.rate(name, window_ms)?;
+            max_rps = max_rps.max(r);
+            sum += r;
+        }
+        let mean_rps = sum / lanes.len() as f64;
+        let skew = if mean_rps > 0.0 { max_rps / mean_rps } else { 0.0 };
+        Some(ShardSkew { lanes: lanes.len(), max_rps, mean_rps, skew })
     }
 
     /// The full windowed view of every counter at the newest sample.

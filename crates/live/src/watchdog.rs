@@ -214,8 +214,20 @@ impl Watchdog {
     /// * probation resets (10 s) above `resets_per_s` → degraded;
     /// * out-of-order fraction (10 s) above 20% → degraded;
     /// * any ledger conservation imbalance → critical;
-    /// * par pool backlog (`par.inflight`) above 10× threads → degraded.
-    pub fn default_rules(evict_per_s: f64, resets_per_s: f64, par_backlog: f64) -> Vec<Rule> {
+    /// * par pool backlog (`par.inflight`) above 10× threads → degraded;
+    /// * shard queue backlog (`par.shard_backlog`) above
+    ///   `shard_backlog` records parked at a drain barrier → degraded.
+    ///
+    /// The eviction and probation-reset counters are rollups summed
+    /// across shard lanes, so the same two rules cover the single and
+    /// sharded sensors; a trip tightens probation decay on *every*
+    /// shard through the broadcast pressure hook.
+    pub fn default_rules(
+        evict_per_s: f64,
+        resets_per_s: f64,
+        par_backlog: f64,
+        shard_backlog: f64,
+    ) -> Vec<Rule> {
         vec![
             Rule::new(
                 "eviction_storm",
@@ -253,6 +265,12 @@ impl Watchdog {
                 "par_backlog",
                 Signal::GaugeValue { name: "par.inflight".into() },
                 par_backlog,
+                Severity::Degraded,
+            ),
+            Rule::new(
+                "shard_backlog",
+                Signal::GaugeValue { name: "par.shard_backlog".into() },
+                shard_backlog,
                 Severity::Degraded,
             ),
         ]
@@ -489,7 +507,8 @@ mod tests {
 
     #[test]
     fn health_json_is_parseable_and_complete() {
-        let mut wd = Watchdog::new(Watchdog::default_rules(1_000.0, 50.0, 64.0), health_state());
+        let mut wd =
+            Watchdog::new(Watchdog::default_rules(1_000.0, 50.0, 64.0, 100_000.0), health_state());
         let mut s = sampler();
         s.tick(0, snap(0, 0));
         s.tick(1_000, snap(10, 1_000));
@@ -498,7 +517,7 @@ mod tests {
         let v = bs_trace::json::parse(&json).expect("health JSON parses");
         assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
         let rules = v.get("rules").and_then(|r| r.as_array()).expect("rules array");
-        assert_eq!(rules.len(), 5, "all five default rules reported");
+        assert_eq!(rules.len(), 6, "all six default rules reported");
         let names: Vec<&str> =
             rules.iter().filter_map(|r| r.get("rule").and_then(|n| n.as_str())).collect();
         for expect in [
@@ -507,6 +526,7 @@ mod tests {
             "out_of_order",
             "ledger_imbalance",
             "par_backlog",
+            "shard_backlog",
         ] {
             assert!(names.contains(&expect), "missing rule {expect}: {names:?}");
         }

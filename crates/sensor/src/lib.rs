@@ -35,7 +35,10 @@
 //! representation only at window flush; the retained reference
 //! implementations ([`ingest::Observations::ingest_with_dedup_reference`],
 //! [`stream::ReferenceStreamingSensor`]) define the semantics and are
-//! property-tested equal on arbitrary record streams.
+//! property-tested equal on arbitrary record streams. For live traffic,
+//! [`shard::ShardedStreamingSensor`] hash-shards the originator space
+//! across N such sensors for multi-core scaling, with output invariant
+//! across shard counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@
 pub mod dynamic;
 pub mod extract;
 pub mod ingest;
+pub mod shard;
 pub mod static_features;
 pub mod stream;
 
@@ -51,6 +55,7 @@ pub use extract::{
     extract_features, extract_from_observations, FeatureConfig, FeatureVector, OriginatorFeatures,
 };
 pub use ingest::{select_analyzable, Observations, OriginatorObservation};
+pub use shard::{ReferenceShardedStreamingSensor, ShardedStreamingSensor, SHARD_SLICES};
 pub use static_features::{classify_querier_name, StaticFeature};
 pub use stream::{ReferenceStreamingSensor, StreamConfig, StreamingSensor, WindowSummary};
 

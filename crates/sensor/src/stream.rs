@@ -175,6 +175,11 @@ pub struct StreamingSensor {
     /// Backpressure cell shared with the bs-live watchdog (`0` ok,
     /// `1` degraded, `2` critical). `None` = no watchdog attached.
     pressure: Option<Arc<AtomicU8>>,
+    /// When running as one slice of a [`crate::shard`] lane: the lane
+    /// index. Flushes then file ledger rows under the per-shard stage
+    /// `sensor.stream.shard.<i>`, emit `sensor.shard.<i>.*` counters,
+    /// and leave the merged gauges to the sharded driver.
+    shard_index: Option<u32>,
 }
 
 impl StreamingSensor {
@@ -198,7 +203,21 @@ impl StreamingSensor {
             tally: Tallies::default(),
             heap_pops: 0,
             pressure: None,
+            shard_index: None,
         }
+    }
+
+    /// Mark this sensor as one slice of shard lane `i` — see the
+    /// [`shard_index`](Self::shard_index) field. Set once, before the
+    /// first record.
+    pub(crate) fn set_shard_index(&mut self, i: u32) {
+        self.shard_index = Some(i);
+    }
+
+    /// Probation resets accumulated in the current (unflushed) window
+    /// — a diagnostic for the sharded pressure-broadcast path.
+    pub(crate) fn pending_probation_resets(&self) -> u64 {
+        self.tally.probation_resets
     }
 
     /// Attach a shared pressure cell (typically the bs-live watchdog's
@@ -287,6 +306,29 @@ impl StreamingSensor {
         summary
     }
 
+    /// Flush the current window — if it holds anything — and re-anchor
+    /// at `next_start`. This is the [`crate::shard`] driver's rotation
+    /// primitive: the *caller* owns the window clock, which lets every
+    /// slice flush the same window even when some slices saw no
+    /// records in it (a slice that pushes nothing never rotates on its
+    /// own). After the call the sensor is anchored: records in
+    /// `[next_start, next_start + window)` accumulate without
+    /// re-deriving the grid from their timestamps.
+    pub fn flush_to(&mut self, next_start: SimTime) -> Option<WindowSummary> {
+        // An anchored slice with an empty arena has nothing to emit:
+        // it only ever receives in-window records from the driver, so
+        // zero tracked originators means zero tallies too.
+        let summary = if self.started && self.tracked_originators() > 0 {
+            let end = self.window_start + self.config.window;
+            Some(self.take_window(end))
+        } else {
+            None
+        };
+        self.window_start = next_start;
+        self.started = true;
+        summary
+    }
+
     fn take_window(&mut self, end: SimTime) -> WindowSummary {
         let _span = bs_telemetry::span("sensor.window_flush");
         // Convert the arena into the BTree-ordered representation the
@@ -319,16 +361,35 @@ impl StreamingSensor {
         bs_telemetry::counter_add("sensor.stream.evictions", evicted as u64);
         bs_telemetry::counter_add("sensor.stream.out_of_order", t.out_of_order);
         bs_telemetry::counter_add("sensor.stream.probation_resets", t.probation_resets);
+        if let Some(i) = self.shard_index {
+            // Per-shard counters next to the global rollups above,
+            // so shard skew is observable without losing the merged
+            // totals.
+            bs_telemetry::counter_add(&format!("sensor.shard.{i}.ingested"), t.records);
+            bs_telemetry::counter_add(&format!("sensor.shard.{i}.evictions"), evicted as u64);
+            bs_telemetry::counter_add(
+                &format!("sensor.shard.{i}.probation_resets"),
+                t.probation_resets,
+            );
+        }
         if bs_trace::is_enabled() {
             // Window conservation: every record this window was stored
             // (and survives in the emitted observations), deduped, held
             // in probation (still credited or dropped by a cap reset),
             // stored-then-lost to an eviction, or dropped as late.
+            // Sharded slices book under their lane's own stage: a
+            // wholesale probation clear on one shard rebooks
+            // held→dropped only there, and conservation verifies both
+            // per shard and summed across shards.
             let kept: u64 =
                 observations.per_originator.values().map(|o| o.queries.len() as u64).sum();
+            let stage = match self.shard_index {
+                Some(i) => format!("sensor.stream.shard.{i}"),
+                None => "sensor.stream".to_owned(),
+            };
             let _w = bs_trace::ledger::window_scope(observations.window_start.secs());
             bs_trace::ledger::record(
-                "sensor.stream",
+                &stage,
                 t.records,
                 &[
                     ("kept", kept),
@@ -340,11 +401,16 @@ impl StreamingSensor {
                 ],
             );
         }
-        bs_telemetry::gauge_set("sensor.window_evicted", evicted as i64);
-        bs_telemetry::gauge_set(
-            "sensor.tracked_originators",
-            observations.per_originator.len() as i64,
-        );
+        if self.shard_index.is_none() {
+            // The sharded driver publishes these gauges merged across
+            // lanes; individual slices flushing in parallel would race
+            // to a meaningless last-writer value.
+            bs_telemetry::gauge_set("sensor.window_evicted", evicted as i64);
+            bs_telemetry::gauge_set(
+                "sensor.tracked_originators",
+                observations.per_originator.len() as i64,
+            );
+        }
         WindowSummary { window: (self.window_start, end), observations, evicted }
     }
 
@@ -518,6 +584,21 @@ impl ReferenceStreamingSensor {
         let summary = self.take_window(end);
         let w = self.config.window.secs();
         self.window_start = SimTime(now.secs() - now.secs() % w);
+        summary
+    }
+
+    /// Flush the current window (if non-empty) and re-anchor at
+    /// `next_start`; semantics identical to
+    /// [`StreamingSensor::flush_to`].
+    pub fn flush_to(&mut self, next_start: SimTime) -> Option<WindowSummary> {
+        let summary = if self.started && !self.per_originator.is_empty() {
+            let end = self.window_start + self.config.window;
+            Some(self.take_window(end))
+        } else {
+            None
+        };
+        self.window_start = next_start;
+        self.started = true;
         summary
     }
 

@@ -26,6 +26,9 @@ cargo clippy -p bs-mlcore --all-targets -- -D warnings
 echo "=== cargo clippy bs-live (the live observability layer, separately)"
 cargo clippy -p bs-live --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-sensor (the sensor + sharded streaming core, separately)"
+cargo clippy -p bs-sensor --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
 
@@ -46,6 +49,12 @@ BS_THREADS=1 cargo test -q -p bs-ml --test mlcore_equivalence
 
 echo "=== ML fast-path equivalence (parallel: BS_THREADS=8)"
 BS_THREADS=8 cargo test -q -p bs-ml --test mlcore_equivalence
+
+echo "=== shard equivalence (sequential: BS_THREADS=1)"
+BS_THREADS=1 cargo test -q -p bs-sensor --test shard_equivalence
+
+echo "=== shard equivalence (parallel: BS_THREADS=8)"
+BS_THREADS=8 cargo test -q -p bs-sensor --test shard_equivalence
 
 echo "=== cargo test (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q
@@ -71,9 +80,9 @@ target/release/backscatter simulate --dataset JP-ditl --scale smoke \
 trace_out="$(target/release/backscatter trace --file "$trace_tmp/trace.json")"
 grep -q "cli.simulate" <<<"$trace_out"
 
-echo "=== CLI smoke: stream --serve answers a live scrape"
+echo "=== CLI smoke: sharded stream --serve answers a live scrape"
 target/release/backscatter stream --log "$trace_tmp/jp.tsv" --window 600 \
-    --serve 127.0.0.1:0 --linger 6 > "$trace_tmp/stream.out" &
+    --shards 4 --serve 127.0.0.1:0 --linger 6 > "$trace_tmp/stream.out" &
 stream_pid=$!
 # The binary prints the ephemeral port before ingest starts.
 addr=""

@@ -251,6 +251,10 @@ fn cmd_stream(
             s.parse().map_err(|_| format!("bad --pace {s:?} (records/sec, 0 = flat out)"))?
         }
     };
+    let shards: usize = match flags.get("shards") {
+        None => 0, // auto-size from the bs-par pool (BS_THREADS / cores)
+        Some(s) => s.parse().map_err(|_| format!("bad --shards {s:?} (lanes, 0 = auto)"))?,
+    };
     let config = StreamConfig {
         window: SimDuration::from_secs(window_secs.max(1)),
         max_originators,
@@ -260,8 +264,17 @@ fn cmd_stream(
     // already enabled it, but `stream` records even when run bare so
     // --metrics output is always populated.
     dns_backscatter::telemetry::enable();
-    let stats =
-        dns_backscatter::stream::run_live_stream(log.records(), config, live, pace_rps, |w| {
+    let resolved_shards = dns_backscatter::stream::resolve_shards(shards);
+    if resolved_shards > 1 {
+        println!("stream: sharding ingest across {resolved_shards} lanes");
+    }
+    let stats = dns_backscatter::stream::run_live_stream(
+        log.records(),
+        config,
+        shards,
+        live,
+        pace_rps,
+        |w| {
             println!(
                 "window [{}s, {}s): {} originators, {} evicted",
                 w.window.0.secs(),
@@ -269,7 +282,8 @@ fn cmd_stream(
                 w.observations.per_originator.len(),
                 w.evicted,
             );
-        });
+        },
+    );
     println!(
         "stream: {} records in {} windows, {} evicted",
         stats.records, stats.windows, stats.evicted
@@ -365,8 +379,16 @@ metric naming: dotted crate.stage names, e.g.
   sensor.stream.out_of_order records predating their window, dropped
   sensor.stream.probation_resets   probation-cap clears under storm load
   sensor.window_evicted      gauge: evictions in the last flushed window
+  sensor.shard.<i>.*         per-shard ingested/evictions/probation_resets
+                             counters (sensor.stream.* stays the rollup)
+  sensor.shard.load.*        gauges: max/mean per-shard records last window
+  sensor.shard.skew_milli    gauge: 1000 × max/mean shard load (1000 = even)
+  par.shard_backlog          gauge: records queued at the last shard
+                             drain barrier (watchdog rules on runaway)
   bench.ingest.*             perf_snapshot ingest throughput gauges
                              (records/sec, fast path vs BTree reference)
+  bench.ingest.scaling.*     sharded ingest rps at 1/2/4/8 lanes and
+                             parallel efficiency (milli, 4 lanes)
   ml.trees_built, ml.fits    learner effort
   classify.models_trained    windows with a trainable label set
   core.curate/.retrain/.classify   per-stage latency histograms (ns)
@@ -439,9 +461,11 @@ commands:
   capture   --log <log.tsv> --out <file.bscap>   convert TSV → packet capture
   capture   --capture <file.bscap> --out <log.tsv>   and back
   stream    --log <log.tsv> [--window S] [--max-originators N]
-            [--pace RPS] [--linger S]
+            [--shards N] [--pace RPS] [--linger S]
             replay a log through the streaming sensor as a live
-            process; --pace throttles to records/sec, --linger keeps
+            process; --shards fans ingest across N hash-sharded lanes
+            (0 = auto from BS_THREADS/cores, output identical at any
+            count), --pace throttles to records/sec, --linger keeps
             the process (and any --serve endpoint) up after ingest
   stats     [--format help|json|prometheus]
             describe the telemetry metrics, or dump a snapshot
