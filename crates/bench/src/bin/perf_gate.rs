@@ -11,8 +11,11 @@
 //! * a baseline of `-1` means *unmeasured* — the gauge is reported but
 //!   not gated (the committed file starts life as a placeholder on
 //!   hosts that can't produce stable numbers, e.g. single-core CI);
-//! * everything else (`records`, `rows`, `threads`, `trace_events`) is
-//!   informational.
+//! * everything else (`records`, `rows`, `threads`, `trace_events`,
+//!   `prof.overhead_pct`) is informational.
+//!
+//! Every row carries the signed percent change vs the baseline, so a
+//! run's drift is readable at a glance even when nothing regressed.
 //!
 //! Exits non-zero iff at least one gauge regressed, so CI can wire it
 //! in as a hard gate once a real baseline is committed:
@@ -25,6 +28,12 @@
 //! host and commit the new `BENCH_pipeline.json`.
 
 use std::process::ExitCode;
+
+/// Counting allocator, as in the `backscatter` binary, so the
+/// profiler-overhead probe measures the wrapper the shipped CLI
+/// actually runs with.
+#[global_allocator]
+static ALLOC: backscatter_core::prof::CountingAlloc = backscatter_core::prof::CountingAlloc;
 
 /// Throughput gauges may lose at most this fraction vs the baseline.
 const RPS_FLOOR: f64 = 0.8;
@@ -83,25 +92,35 @@ fn main() -> ExitCode {
     let summary = bench::perfsnap::measure_all();
     let fresh = backscatter_core::telemetry::snapshot();
 
+    // Signed percent change vs the baseline; "-" when the baseline is
+    // a placeholder or zero (a delta against -1 or 0 is meaningless).
+    let delta = |base: f64, new: f64| -> String {
+        if base > 0.0 {
+            format!("{:+.1}%", (new - base) / base * 100.0)
+        } else {
+            "-".to_string()
+        }
+    };
     let mut regressions = 0usize;
     let mut gated = 0usize;
     let mut unmeasured = 0usize;
-    println!("{:<40} {:>12} {:>12}  verdict", "gauge", "baseline", "fresh");
+    println!("{:<40} {:>12} {:>12} {:>8}  verdict", "gauge", "baseline", "fresh", "delta");
     for (name, base_value) in base_gauges {
         if !name.starts_with("bench.") {
             continue;
         }
         let base = base_value.as_f64().unwrap_or(-1.0);
         let Some(new) = fresh.gauges.get(name).copied() else {
-            println!("{name:<40} {base:>12.0} {:>12}  REGRESSED (gauge vanished)", "-");
+            println!("{name:<40} {base:>12.0} {:>12} {:>8}  REGRESSED (gauge vanished)", "-", "-");
             regressions += 1;
             continue;
         };
         let new = new as f64;
+        let d = delta(base, new);
         match judge(name, base, new) {
             Verdict::Pass => {
                 gated += 1;
-                println!("{name:<40} {base:>12.0} {new:>12.0}  ok");
+                println!("{name:<40} {base:>12.0} {new:>12.0} {d:>8}  ok");
             }
             Verdict::Regressed => {
                 regressions += 1;
@@ -110,14 +129,14 @@ fn main() -> ExitCode {
                 } else {
                     format!("ceil {:.0}", base * WALL_MS_CEIL)
                 };
-                println!("{name:<40} {base:>12.0} {new:>12.0}  REGRESSED ({bound})");
+                println!("{name:<40} {base:>12.0} {new:>12.0} {d:>8}  REGRESSED ({bound})");
             }
             Verdict::Unmeasured => {
                 unmeasured += 1;
-                println!("{name:<40} {base:>12.0} {new:>12.0}  recorded (no baseline)");
+                println!("{name:<40} {base:>12.0} {new:>12.0} {d:>8}  recorded (no baseline)");
             }
             Verdict::Info => {
-                println!("{name:<40} {base:>12.0} {new:>12.0}  info");
+                println!("{name:<40} {base:>12.0} {new:>12.0} {d:>8}  info");
             }
         }
     }

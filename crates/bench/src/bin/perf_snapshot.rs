@@ -20,6 +20,12 @@
 //! cargo run --release -p bench --bin perf_snapshot
 //! ```
 
+/// Counting allocator, as in the `backscatter` binary, so the
+/// profiler-overhead probe measures the wrapper the shipped CLI
+/// actually runs with.
+#[global_allocator]
+static ALLOC: backscatter_core::prof::CountingAlloc = backscatter_core::prof::CountingAlloc;
+
 fn main() {
     let summary = bench::perfsnap::measure_all();
 

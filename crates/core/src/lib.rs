@@ -58,6 +58,7 @@ pub use bs_live as live;
 pub use bs_ml as ml;
 pub use bs_netsim as netsim;
 pub use bs_par as par;
+pub use bs_prof as prof;
 pub use bs_sensor as sensor;
 pub use bs_telemetry as telemetry;
 pub use bs_trace as trace;

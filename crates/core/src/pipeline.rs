@@ -86,6 +86,7 @@ impl DatasetPipeline {
         // sequentially inside pool workers).
         let out: Vec<WindowClassification> = bs_par::par_map(&windows, |w, window| {
             let _wscope = bs_trace::ledger::window_scope(w as u64);
+            let _cost = bs_prof::stage("core.window", w as u64);
             let feats = built.features_for_window(world, *window, &self.feature_config);
             let fmap = feature_map(&feats);
             let model = {

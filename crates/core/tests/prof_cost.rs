@@ -1,0 +1,72 @@
+//! The ns-per-record cost table must reconcile with the conservation
+//! ledger: for every profiled stage+window, the record count the cost
+//! row reports is exactly what the ledger booked there.
+
+use backscatter_core::stream::run_live_stream;
+use bs_dns::{Rcode, SimDuration, SimTime};
+use bs_netsim::log::QueryLogRecord;
+use bs_sensor::StreamConfig;
+
+fn rec(t: u64, q: u32, o: u32) -> QueryLogRecord {
+    QueryLogRecord {
+        time: SimTime(t),
+        querier: std::net::Ipv4Addr::from(0x0A00_0000 | q),
+        originator: std::net::Ipv4Addr::from(0xCB00_0000 | o),
+        rcode: Rcode::NoError,
+    }
+}
+
+fn records() -> Vec<QueryLogRecord> {
+    let mut out = Vec::new();
+    for w in 0..4u64 {
+        for i in 0..80u32 {
+            out.push(rec(w * 100 + (i % 90) as u64, i % 11, i % 3));
+        }
+    }
+    out
+}
+
+#[test]
+fn cost_table_reconciles_with_ledger_per_window() {
+    // Profiling only — no tracing, no sampler thread: the cost/ledger
+    // join is exact bookkeeping, independent of sampling.
+    bs_trace::enable_profiling();
+    bs_trace::ledger::reset();
+    bs_prof::cost::reset();
+
+    let cfg = StreamConfig { window: SimDuration::from_secs(100), ..Default::default() };
+    let stats = run_live_stream(&records(), cfg, 1, None, 0, |_| {});
+    assert_eq!(stats.records, 320);
+    assert!(stats.windows >= 4);
+
+    bs_trace::disable_profiling();
+
+    let ledger = bs_trace::ledger::snapshot();
+    let rows: Vec<_> =
+        bs_prof::cost::rows().into_iter().filter(|r| r.stage == "sensor.stream").collect();
+    assert!(rows.len() >= 4, "one cost row per flushed window, got {}", rows.len());
+
+    let mut cost_records = 0u64;
+    for r in &rows {
+        let flow = ledger
+            .get(&("sensor.stream".to_string(), r.window))
+            .unwrap_or_else(|| panic!("ledger has no cell for window {}", r.window));
+        assert_eq!(
+            r.records, flow.records_in,
+            "window {}: cost row must carry the ledger's record count",
+            r.window
+        );
+        assert_eq!(r.calls, 1, "each window flushes once");
+        assert!(r.ns > 0, "wall time was measured");
+        assert!(r.records == 0 || r.ns_per_record == r.ns / r.records, "unit cost is ns/records");
+        cost_records += r.records;
+    }
+    assert_eq!(cost_records, 320, "every streamed record appears in exactly one cost row");
+
+    // The rendered table carries the same reconciliation.
+    let table = bs_prof::cost::render();
+    assert!(table.contains("sensor.stream"), "render names the stage:\n{table}");
+
+    bs_trace::ledger::reset();
+    bs_prof::cost::reset();
+}

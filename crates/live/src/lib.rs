@@ -67,6 +67,27 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
+/// Process start anchor for the `/buildinfo` uptime field, pinned the
+/// first time anyone asks (LiveLoop creation touches it, so in
+/// practice it anchors when the live stack comes up).
+fn process_origin() -> Instant {
+    static ORIGIN: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// The `/buildinfo` body: build provenance (git hash, rustc version,
+/// cargo profile — baked in by `build.rs`, each `"unknown"` when not
+/// determinable at compile time) plus process uptime.
+pub fn buildinfo_json() -> String {
+    format!(
+        "{{\n  \"git_hash\": \"{}\",\n  \"rustc\": \"{}\",\n  \"profile\": \"{}\",\n  \"uptime_secs\": {}\n}}",
+        json_escape(env!("BS_GIT_HASH")),
+        json_escape(env!("BS_RUSTC_VERSION")),
+        json_escape(env!("BS_BUILD_PROFILE")),
+        process_origin().elapsed().as_secs()
+    )
+}
+
 /// Configuration for a [`LiveLoop`].
 #[derive(Debug, Clone)]
 pub struct LiveConfig {
@@ -105,6 +126,7 @@ impl LiveLoop {
     /// all zeros, which is never what an operator asked for.
     pub fn new(config: LiveConfig) -> Self {
         bs_telemetry::enable();
+        process_origin();
         let state = health_state();
         LiveLoop {
             sampler: Sampler::new(config.series),
@@ -154,10 +176,10 @@ impl LiveLoop {
         &self.watchdog
     }
 
-    /// The `/snapshot` body: timestamp, health, derived per-counter
-    /// rates, the shard-skew view (null when running unsharded), and
-    /// the full registry snapshot (counters, gauges, histograms with
-    /// p50/p90/p99).
+    /// The `/snapshot` body: timestamp, health, build provenance,
+    /// derived per-counter rates, the shard-skew view (null when
+    /// running unsharded), and the full registry snapshot (counters,
+    /// gauges, histograms with p50/p90/p99).
     pub fn snapshot_json(&self) -> String {
         let (at_ms, registry_json) = match self.sampler.latest() {
             Some(s) => (s.at_ms as i64, s.snapshot.to_json()),
@@ -173,11 +195,13 @@ impl LiveLoop {
             ),
             None => "null".to_string(),
         };
+        let buildinfo = buildinfo_json().replace('\n', "\n  ");
         format!(
-            "{{\n  \"at_ms\": {},\n  \"health\": \"{}\",\n  \"ticks\": {},\n  \"rates\": {},\n  \"shard_skew\": {},\n  \"registry\": {}\n}}",
+            "{{\n  \"at_ms\": {},\n  \"health\": \"{}\",\n  \"ticks\": {},\n  \"buildinfo\": {},\n  \"rates\": {},\n  \"shard_skew\": {},\n  \"registry\": {}\n}}",
             at_ms,
             self.health().as_str(),
             self.sampler.ticks(),
+            buildinfo,
             self.sampler.rates_json(),
             shard_skew,
             registry_json
@@ -298,6 +322,9 @@ mod tests {
         let v = bs_trace::json::parse(&json).expect("snapshot JSON parses");
         assert_eq!(v.get("health").and_then(|h| h.as_str()), Some("ok"));
         assert_eq!(v.get("at_ms").and_then(|t| t.as_f64()), Some(1_000.0));
+        let bi = v.get("buildinfo").expect("buildinfo embedded in /snapshot");
+        assert!(bi.get("git_hash").and_then(|g| g.as_str()).is_some());
+        assert!(bi.get("uptime_secs").and_then(|u| u.as_f64()).is_some());
         let rate = v
             .get("rates")
             .and_then(|r| r.get("t.records"))
@@ -312,6 +339,17 @@ mod tests {
             .and_then(|h| h.get("p50"))
             .expect("histogram quantiles in registry snapshot");
         assert!(p50.as_f64().is_some());
+    }
+
+    #[test]
+    fn buildinfo_json_is_valid_and_complete() {
+        let v = bs_trace::json::parse(&buildinfo_json()).expect("buildinfo parses");
+        for key in ["git_hash", "rustc", "profile"] {
+            let s = v.get(key).and_then(|x| x.as_str()).unwrap_or_else(|| panic!("{key} present"));
+            assert!(!s.is_empty(), "{key} is never empty (falls back to \"unknown\")");
+        }
+        let up = v.get("uptime_secs").and_then(|u| u.as_f64()).expect("uptime_secs");
+        assert!(up >= 0.0);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! | `/snapshot`      | JSON: registry + derived windowed rates  |
 //! | `/health`        | JSON watchdog status; **503** when critical |
 //! | `/trace/summary` | JSON conservation-ledger summary         |
+//! | `/buildinfo`     | JSON build provenance + uptime           |
+//! | `/profile/flame` | folded collapsed stacks (inferno format) |
+//! | `/profile/top`   | JSON ranked per-stage sample counts      |
+//! | `/profile/alloc` | JSON per-stage allocation count/bytes    |
 //!
 //! The listener runs nonblocking with a short poll sleep so shutdown
 //! (a shared stop flag) is observed within ~25 ms; requests are read
@@ -154,6 +158,24 @@ fn handle_connection(mut stream: TcpStream, live: &Arc<Mutex<LiveLoop>>) -> std:
             let body = trace_summary_json();
             respond(&mut stream, 200, "OK", "application/json", &body)
         }
+        "/buildinfo" => {
+            let body = crate::buildinfo_json();
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        "/profile/flame" => {
+            // Empty until the sampler has run (started via --profile);
+            // an empty 200 keeps scrapers simple.
+            let body = bs_prof::folded();
+            respond(&mut stream, 200, "OK", "text/plain", &body)
+        }
+        "/profile/top" => {
+            let body = bs_prof::top_json();
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        "/profile/alloc" => {
+            let body = bs_prof::alloc::alloc_json();
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
         _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
     }
 }
@@ -170,8 +192,9 @@ fn trace_summary_json() -> String {
     let imbalances = bs_trace::ledger::verify();
     let cells = bs_trace::ledger::snapshot();
     format!(
-        "{{\n  \"tracing_enabled\": {},\n  \"ledger_cells\": {},\n  \"imbalances\": {},\n  \"dropped_events\": {},\n  \"table\": \"{}\"\n}}",
+        "{{\n  \"tracing_enabled\": {},\n  \"profiling_enabled\": {},\n  \"ledger_cells\": {},\n  \"imbalances\": {},\n  \"dropped_events\": {},\n  \"table\": \"{}\"\n}}",
         bs_trace::is_enabled(),
+        bs_trace::is_profiling(),
         cells.len(),
         imbalances.len(),
         bs_trace::dropped(),
@@ -267,6 +290,34 @@ mod tests {
         assert_eq!(code, 200);
         let v = bs_trace::json::parse(&trace).expect("trace summary is valid JSON");
         assert!(v.get("imbalances").is_some());
+        assert!(v.get("profiling_enabled").is_some());
+
+        let (code, bi) = http_get(addr, "/buildinfo").expect("scrape /buildinfo");
+        assert_eq!(code, 200);
+        let v = bs_trace::json::parse(&bi).expect("buildinfo is valid JSON");
+        assert!(v.get("git_hash").and_then(|g| g.as_str()).is_some());
+        assert!(v.get("uptime_secs").and_then(|u| u.as_f64()).is_some());
+
+        let (code, top) = http_get(addr, "/profile/top").expect("scrape /profile/top");
+        assert_eq!(code, 200);
+        let v = bs_trace::json::parse(&top).expect("profile top is valid JSON");
+        assert!(v.get("stages").is_some());
+
+        let (code, alloc) = http_get(addr, "/profile/alloc").expect("scrape /profile/alloc");
+        assert_eq!(code, 200);
+        let v = bs_trace::json::parse(&alloc).expect("profile alloc is valid JSON");
+        assert!(v.get("stages").is_some());
+
+        // /profile/flame is folded text (possibly empty when the
+        // sampler never ran): every non-empty line must be
+        // `frame[;frame...] <count>`.
+        let (code, flame) = http_get(addr, "/profile/flame").expect("scrape /profile/flame");
+        assert_eq!(code, 200);
+        for line in flame.lines().filter(|l| !l.is_empty()) {
+            let (path, count) = line.rsplit_once(' ').expect("folded line");
+            assert!(!path.is_empty());
+            assert!(count.parse::<u64>().is_ok(), "bad folded count in {line:?}");
+        }
 
         let (code, _) = http_get(addr, "/nope").expect("scrape unknown");
         assert_eq!(code, 404);

@@ -153,9 +153,17 @@ where
         return (a(), b());
     }
     let ctx = bs_trace::current_context();
+    let base_frames =
+        if bs_trace::is_profiling() { bs_trace::stack::snapshot_current() } else { Vec::new() };
+    let base_frames = &base_frames;
     std::thread::scope(|s| {
         let hb = s.spawn(move || {
             let _ctx = bs_trace::enter_context(ctx);
+            let _base = if base_frames.is_empty() {
+                None
+            } else {
+                Some(bs_trace::stack::enter_base(base_frames, "par-join"))
+            };
             b()
         });
         let ra = a();
@@ -181,6 +189,12 @@ where
     // under `par.run` → enclosing stage → root.
     let _span = bs_telemetry::span("par.run");
     let ctx = bs_trace::current_context();
+    // Base frames for the profiler: workers install the spawning
+    // thread's frame stack so their samples nest under the stage that
+    // fanned out (empty unless profiling is on).
+    let base_frames =
+        if bs_trace::is_profiling() { bs_trace::stack::snapshot_current() } else { Vec::new() };
+    let base_frames = &base_frames;
     bs_telemetry::gauge_set("par.threads", t as i64);
     // Region depth for the live watchdog's backlog rule: tasks still
     // queued or running across all concurrent regions. Net zero after
@@ -206,6 +220,11 @@ where
                     if bs_trace::is_enabled() {
                         bs_trace::name_lane(&format!("par-worker-{w}"));
                     }
+                    let _base = if base_frames.is_empty() {
+                        None
+                    } else {
+                        Some(bs_trace::stack::enter_base(base_frames, &format!("par-worker-{w}")))
+                    };
                     let mut done = Vec::with_capacity(n / t + 1);
                     while let Some(i) = next_task(queues, w, steals) {
                         done.push((i, f(i)));

@@ -1,0 +1,216 @@
+//! The counting global allocator: attributes allocation count and
+//! bytes to the pipeline stage active on the allocating thread.
+//!
+//! [`CountingAlloc`] wraps [`System`]. While profiling is off every
+//! hook pays exactly one relaxed atomic load before forwarding. While
+//! on, it adds two relaxed `fetch_add`s against the slot picked by the
+//! thread-local stage id that [`crate::stage`] scopes maintain.
+//!
+//! Caveats (also in DESIGN §15): attribution is by *allocating
+//! thread's current stage*, so allocations made by a stage but freed
+//! elsewhere still count where they were made (deallocations are not
+//! tracked at all — this is an allocation-pressure profile, not a live
+//! heap profile), and anything allocated outside any stage scope files
+//! under `(unattributed)`.
+//!
+//! This module is the only place in the crate (and the workspace)
+//! allowed to use `unsafe`: the [`GlobalAlloc`] trait is unsafe to
+//! implement, and every method body only forwards to [`System`].
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Attribution slots: slot 0 is `(unattributed)`, slots `1..MAX_STAGES`
+/// are handed out by [`register`]. Overflow past the table falls back
+/// to slot 0 rather than failing.
+pub const MAX_STAGES: usize = 64;
+
+static COUNTS: [AtomicU64; MAX_STAGES] = [const { AtomicU64::new(0) }; MAX_STAGES];
+static BYTES: [AtomicU64; MAX_STAGES] = [const { AtomicU64::new(0) }; MAX_STAGES];
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// The slot current allocations on this thread attribute to.
+    static STAGE: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Register (or look up) the attribution slot for a stage name.
+/// Returns slot 0 when the table is full.
+pub fn register(name: &'static str) -> u16 {
+    let mut table = names().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(i) = table.iter().position(|n| *n == name) {
+        return (i + 1) as u16;
+    }
+    if table.len() + 1 >= MAX_STAGES {
+        return 0;
+    }
+    table.push(name);
+    table.len() as u16
+}
+
+/// Point the current thread's allocations at `slot`, returning the
+/// previous slot (restore it when the scope ends).
+pub fn set_stage(slot: u16) -> u16 {
+    STAGE.try_with(|c| c.replace(slot)).unwrap_or(0)
+}
+
+#[inline]
+fn charge(size: usize) {
+    if bs_trace::is_profiling() {
+        let slot = STAGE.try_with(|c| c.get()).unwrap_or(0) as usize;
+        let slot = if slot < MAX_STAGES { slot } else { 0 };
+        COUNTS[slot].fetch_add(1, Ordering::Relaxed);
+        BYTES[slot].fetch_add(size as u64, Ordering::Relaxed);
+    }
+}
+
+/// A `#[global_allocator]` wrapper over [`System`] that attributes
+/// allocation count/bytes to the active stage. Install it in the
+/// binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: bs_prof::CountingAlloc = bs_prof::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards the exact layout it was given to
+// `System`, which upholds the GlobalAlloc contract; the counting
+// side-effect touches only atomics and a const-initialized
+// thread-local (no allocation, no re-entrancy).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        charge(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        charge(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        charge(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// One stage's allocation totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocRow {
+    /// Stage name (`(unattributed)` for slot 0).
+    pub stage: &'static str,
+    /// Allocations charged (alloc + alloc_zeroed + realloc calls).
+    pub count: u64,
+    /// Bytes requested across those calls.
+    pub bytes: u64,
+}
+
+/// Snapshot every slot with nonzero counts, largest byte total first.
+pub fn snapshot() -> Vec<AllocRow> {
+    let table = names().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut rows = Vec::new();
+    for slot in 0..MAX_STAGES {
+        let count = COUNTS[slot].load(Ordering::Relaxed);
+        let bytes = BYTES[slot].load(Ordering::Relaxed);
+        if count == 0 {
+            continue;
+        }
+        let stage =
+            if slot == 0 { "(unattributed)" } else { table.get(slot - 1).copied().unwrap_or("?") };
+        rows.push(AllocRow { stage, count, bytes });
+    }
+    rows.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.stage.cmp(b.stage)));
+    rows
+}
+
+/// Zero every slot (start of a profiling session).
+pub fn reset_counts() {
+    for slot in 0..MAX_STAGES {
+        COUNTS[slot].store(0, Ordering::Relaxed);
+        BYTES[slot].store(0, Ordering::Relaxed);
+    }
+}
+
+/// JSON export for the `/profile/alloc` route:
+/// `{"stages":[{"stage":...,"count":...,"bytes":...},...]}`.
+pub fn alloc_json() -> String {
+    let rows = snapshot();
+    let mut s = String::from("{\n  \"stages\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"stage\": \"{}\", \"count\": {}, \"bytes\": {}}}",
+            r.stage, r.count, r.bytes
+        ));
+    }
+    s.push_str("\n  ]\n}");
+    s
+}
+
+/// Human-readable allocation table for the CLI exit summary.
+pub fn render() -> String {
+    use std::fmt::Write as _;
+    let rows = snapshot();
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<28} {:>12} {:>14}", "stage", "allocs", "bytes");
+    for r in &rows {
+        let _ = writeln!(s, "{:<28} {:>12} {:>14}", r.stage, r.count, r.bytes);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_stable_and_bounded() {
+        let a = register("alloc.test.a");
+        assert!(a > 0);
+        assert_eq!(register("alloc.test.a"), a);
+        let b = register("alloc.test.b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn charges_file_under_the_set_stage() {
+        let _g = crate::testutil::serial();
+        let slot = register("alloc.test.charge");
+        bs_trace::enable_profiling();
+        let prev = set_stage(slot);
+        let before = COUNTS[slot as usize].load(Ordering::Relaxed);
+        charge(128);
+        charge(64);
+        set_stage(prev);
+        bs_trace::disable_profiling();
+        let after = COUNTS[slot as usize].load(Ordering::Relaxed);
+        assert_eq!(after - before, 2);
+        let rows = snapshot();
+        let row = rows.iter().find(|r| r.stage == "alloc.test.charge").expect("row");
+        assert!(row.bytes >= 192);
+    }
+
+    #[test]
+    fn disabled_charge_is_a_noop() {
+        let _g = crate::testutil::serial();
+        bs_trace::disable_profiling();
+        let before = COUNTS[0].load(Ordering::Relaxed);
+        charge(1024);
+        assert_eq!(COUNTS[0].load(Ordering::Relaxed), before);
+    }
+}

@@ -1,0 +1,173 @@
+//! Exact per-stage cost attribution: wall time per `(stage, window)`
+//! joined against the conservation ledger's record counts.
+//!
+//! [`crate::stage`] scopes file `(stage, window) → (ns, calls)` here;
+//! [`rows`] joins each cell with `bs_trace::ledger::snapshot()` to
+//! find how many records that stage saw in that window, yielding the
+//! headline metric **ns per record**. The join is exact, not sampled:
+//! both sides come from the same instrumented call sites.
+//!
+//! Stage naming contract: a cost stage either matches a ledger stage
+//! exactly (`"sensor.stream"`, `"core.window"`) or is the *family
+//! prefix* of per-instance ledger stages (`"sensor.stream.shard"`
+//! covering `"sensor.stream.shard.0"`, `.1`, …). Exact matches win;
+//! the prefix sum is only used when no exact cell exists, so a family
+//! never double-counts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+type Table = BTreeMap<(&'static str, u64), (u64, u64)>;
+
+fn table() -> MutexGuard<'static, Table> {
+    static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// File `ns` of wall time for one invocation of `stage` on `window`.
+/// Called by [`crate::StageScope`] on drop.
+pub fn record(stage: &'static str, window: u64, ns: u64) {
+    let mut t = table();
+    let cell = t.entry((stage, window)).or_insert((0, 0));
+    cell.0 += ns;
+    cell.1 += 1;
+}
+
+/// Clear the table (start of a profiling session).
+pub fn reset() {
+    table().clear();
+}
+
+/// One `(stage, window)` cost cell joined with the ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostRow {
+    /// Stage (or family-prefix) name.
+    pub stage: &'static str,
+    /// Window key (`bs_trace::ledger::NO_WINDOW` outside any window).
+    pub window: u64,
+    /// Total wall nanoseconds across calls.
+    pub ns: u64,
+    /// Stage invocations.
+    pub calls: u64,
+    /// Records the ledger saw for this stage+window (0 when the
+    /// ledger has no matching cell — e.g. profiling without tracing
+    /// on a stage that doesn't file ledger rows).
+    pub records: u64,
+    /// `ns / records`, the headline unit cost (0 when `records` is 0).
+    pub ns_per_record: u64,
+}
+
+/// Join the cost table against the current ledger snapshot.
+pub fn rows() -> Vec<CostRow> {
+    let costs: Vec<_> = table().iter().map(|(k, v)| (*k, *v)).collect();
+    let ledger = bs_trace::ledger::snapshot();
+    costs
+        .into_iter()
+        .map(|((stage, window), (ns, calls))| {
+            let records = match ledger.get(&(stage.to_string(), window)) {
+                Some(flow) => flow.records_in,
+                None => {
+                    let prefix = format!("{stage}.");
+                    ledger
+                        .iter()
+                        .filter(|((s, w), _)| *w == window && s.starts_with(&prefix))
+                        .map(|(_, flow)| flow.records_in)
+                        .sum()
+                }
+            };
+            let ns_per_record = ns.checked_div(records).unwrap_or(0);
+            CostRow { stage, window, ns, calls, records, ns_per_record }
+        })
+        .collect()
+}
+
+/// Human-readable ns-per-record table, one line per `(stage, window)`.
+pub fn render() -> String {
+    let rows = rows();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<26} {:>12} {:>8} {:>14} {:>10} {:>10}",
+        "stage", "window", "calls", "ns", "records", "ns/rec"
+    );
+    for r in &rows {
+        let win = if r.window == bs_trace::ledger::NO_WINDOW {
+            "-".to_string()
+        } else {
+            r.window.to_string()
+        };
+        let _ = writeln!(
+            s,
+            "{:<26} {:>12} {:>8} {:>14} {:>10} {:>10}",
+            r.stage, win, r.calls, r.ns, r.records, r.ns_per_record
+        );
+    }
+    s
+}
+
+/// JSON export of [`rows`] for machine consumers.
+pub fn json() -> String {
+    let rows = rows();
+    let mut s = String::from("{\n  \"stages\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"stage\": \"{}\", \"window\": {}, \"calls\": {}, \"ns\": {}, \"records\": {}, \"ns_per_record\": {}}}",
+            r.stage, r.window, r.calls, r.ns, r.records, r.ns_per_record
+        ));
+    }
+    s.push_str("\n  ]\n}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ledger_match_wins_over_prefix_sum() {
+        let _g = crate::testutil::serial();
+        bs_trace::enable();
+        bs_trace::ledger::reset();
+        reset();
+        {
+            let _w = bs_trace::ledger::window_scope(5);
+            bs_trace::ledger::record("cost.test.exact", 10, &[("kept", 10)]);
+            bs_trace::ledger::record("cost.test.exact.sub", 99, &[("kept", 99)]);
+        }
+        record("cost.test.exact", 5, 1000);
+        let r = rows().into_iter().find(|r| r.stage == "cost.test.exact").expect("row");
+        assert_eq!(r.records, 10, "exact cell, not 10+99");
+        assert_eq!(r.ns_per_record, 100);
+        bs_trace::ledger::reset();
+        reset();
+        bs_trace::disable();
+    }
+
+    #[test]
+    fn family_prefix_sums_per_instance_ledger_stages() {
+        let _g = crate::testutil::serial();
+        bs_trace::enable();
+        bs_trace::ledger::reset();
+        reset();
+        {
+            let _w = bs_trace::ledger::window_scope(3);
+            bs_trace::ledger::record("cost.test.fam.shard.0", 4, &[("kept", 4)]);
+            bs_trace::ledger::record("cost.test.fam.shard.1", 6, &[("kept", 6)]);
+        }
+        record("cost.test.fam.shard", 3, 2000);
+        record("cost.test.fam.shard", 3, 500);
+        let r = rows().into_iter().find(|r| r.stage == "cost.test.fam.shard").expect("row");
+        assert_eq!(r.calls, 2);
+        assert_eq!(r.ns, 2500);
+        assert_eq!(r.records, 10, "family prefix sums shard instances");
+        assert_eq!(r.ns_per_record, 250);
+        assert!(render().contains("cost.test.fam.shard"));
+        bs_trace::ledger::reset();
+        reset();
+        bs_trace::disable();
+    }
+}

@@ -96,10 +96,11 @@ pub fn extract_from_observations(
     config: &FeatureConfig,
 ) -> Vec<OriginatorFeatures> {
     let _span = bs_telemetry::span("sensor.extract");
+    let _cost = bs_prof::stage("sensor.select", bs_trace::ledger::current_window());
     let total_ases = obs.total_ases(info);
     let total_countries = obs.total_countries(info);
     let selected = select_analyzable(obs, config.min_queriers, config.top_n);
-    if bs_trace::is_enabled() {
+    if bs_trace::is_active() {
         // Conservation over the analyzability cut: every observed
         // originator is selected, below threshold, or ranked out.
         let total = obs.per_originator.len() as u64;

@@ -320,6 +320,7 @@ impl ShardedStreamingSensor {
         self.drain_all();
         let _span = bs_telemetry::span("sensor.shard.window_flush");
         let ws = self.window_start;
+        let _cost = bs_prof::stage("sensor.shard.merge", ws.secs());
         let end = ws + self.config.window;
         let parts: Vec<(LanePartial, u64, u64)> = {
             let lanes: Vec<Mutex<&mut Lane>> = self.lanes.iter_mut().map(Mutex::new).collect();
@@ -346,7 +347,7 @@ impl ShardedStreamingSensor {
                 // Late records never reach a slice, so the slices'
                 // ledger rows don't cover them; book them into this
                 // lane's stage so per-shard conservation still closes.
-                if bs_trace::is_enabled() {
+                if bs_trace::is_active() {
                     let _w = bs_trace::ledger::window_scope(ws.secs());
                     bs_trace::ledger::record(
                         &format!("sensor.stream.shard.{i}"),

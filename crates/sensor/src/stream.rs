@@ -331,6 +331,13 @@ impl StreamingSensor {
 
     fn take_window(&mut self, end: SimTime) -> WindowSummary {
         let _span = bs_telemetry::span("sensor.window_flush");
+        // Cost attribution: single sensors file under the exact ledger
+        // stage, sharded slices under the family prefix (bs-prof sums
+        // the per-shard ledger stages at join time).
+        let _cost = bs_prof::stage(
+            if self.shard_index.is_some() { "sensor.stream.shard" } else { "sensor.stream" },
+            self.window_start.secs(),
+        );
         // Convert the arena into the BTree-ordered representation the
         // rest of the pipeline consumes — the only ordered work in the
         // streaming sensor, and it happens once per window.
@@ -372,7 +379,7 @@ impl StreamingSensor {
                 t.probation_resets,
             );
         }
-        if bs_trace::is_enabled() {
+        if bs_trace::is_active() {
             // Window conservation: every record this window was stored
             // (and survives in the emitted observations), deduped, held
             // in probation (still credited or dropped by a cap reset),

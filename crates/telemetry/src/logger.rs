@@ -21,8 +21,10 @@
 //! Every `log_at!` expansion therefore owns a per-call-site token
 //! bucket ([`LogSite`]): a site may burst [`SITE_BURST`] lines, then
 //! refills at [`SITE_REFILL_PER_SEC`] lines per second. Suppressed
-//! lines are counted (`telemetry.log.suppressed`) and the next line
-//! that passes is preceded by a one-line summary of how many were
+//! lines are counted globally (`telemetry.log.suppressed`) and per
+//! target (`telemetry.log.suppressed.<target>`, so `stats` can name
+//! the flooding site), and the next line that passes is preceded by a
+//! one-line summary of how many were
 //! dropped, so floods stay diagnosable without being replayed.
 //! `Error` lines always pass, and direct [`log_emit`] calls are never
 //! limited.
@@ -258,9 +260,11 @@ impl LogSite {
     /// admission returns `Some(n)` where `n` is the number of lines
     /// suppressed at this site since the previous admission (so the
     /// caller can surface the gap); on suppression returns `None`,
-    /// bumps the site's tally, and advances the global
-    /// `telemetry.log.suppressed` counter. `Error` lines always pass.
-    pub fn admit(&self, level: Level) -> Option<u64> {
+    /// bumps the site's tally, and advances both the global
+    /// `telemetry.log.suppressed` counter and the per-site
+    /// `telemetry.log.suppressed.<target>` counter. `Error` lines
+    /// always pass.
+    pub fn admit(&self, level: Level, target: &str) -> Option<u64> {
         if level == Level::Error {
             return Some(self.suppressed.swap(0, Ordering::Relaxed));
         }
@@ -294,6 +298,9 @@ impl LogSite {
             Err(_) => {
                 self.suppressed.fetch_add(1, Ordering::Relaxed);
                 crate::counter_add("telemetry.log.suppressed", 1);
+                // Already on the slow (suppressed) path, so the
+                // per-site name allocation is acceptable.
+                crate::counter_add(&format!("telemetry.log.suppressed.{target}"), 1);
                 None
             }
         }
@@ -314,7 +321,7 @@ macro_rules! log_at {
         let lvl = $lvl;
         if $crate::log_enabled(lvl) {
             static __BS_LOG_SITE: $crate::LogSite = $crate::LogSite::new();
-            if let ::core::option::Option::Some(suppressed) = __BS_LOG_SITE.admit(lvl) {
+            if let ::core::option::Option::Some(suppressed) = __BS_LOG_SITE.admit(lvl, $target) {
                 if suppressed > 0 {
                     $crate::log_emit(
                         lvl,
@@ -447,10 +454,11 @@ mod tests {
     fn token_bucket_suppresses_floods_then_reports_the_gap() {
         crate::enable();
         let counter_before = crate::registry().counter("telemetry.log.suppressed").get();
+        let site_before = crate::registry().counter("telemetry.log.suppressed.test.bucket").get();
         let site = LogSite::new();
         let (mut admitted, mut suppressed) = (0u64, 0u64);
         for _ in 0..10_000 {
-            match site.admit(Level::Warn) {
+            match site.admit(Level::Warn, "test.bucket") {
                 Some(_) => admitted += 1,
                 None => suppressed += 1,
             }
@@ -466,22 +474,28 @@ mod tests {
             "every suppression must be counted (delta={})",
             counter_after - counter_before
         );
+        let site_after = crate::registry().counter("telemetry.log.suppressed.test.bucket").get();
+        assert_eq!(
+            site_after - site_before,
+            suppressed,
+            "the per-site counter tallies exactly this site's suppressions"
+        );
         // Errors bypass the limiter and drain the gap report.
-        let gap = site.admit(Level::Error).expect("errors always pass");
+        let gap = site.admit(Level::Error, "test.bucket").expect("errors always pass");
         assert_eq!(gap, suppressed, "the next admitted line learns the gap size");
         // The gap was drained: an immediately following admission
         // (error again, bucket is empty) reports zero.
-        assert_eq!(site.admit(Level::Error), Some(0));
+        assert_eq!(site.admit(Level::Error, "test.bucket"), Some(0));
     }
 
     #[test]
     fn token_bucket_refills_after_quiet_period() {
         let site = LogSite::new();
-        while site.admit(Level::Warn).is_some() {}
-        assert!(site.admit(Level::Warn).is_none(), "bucket is dry");
+        while site.admit(Level::Warn, "test.refill").is_some() {}
+        assert!(site.admit(Level::Warn, "test.refill").is_none(), "bucket is dry");
         // One refill quantum at SITE_REFILL_PER_SEC lines/s.
         std::thread::sleep(std::time::Duration::from_millis(1_000 / SITE_REFILL_PER_SEC + 50));
-        assert!(site.admit(Level::Warn).is_some(), "a token refilled while quiet");
+        assert!(site.admit(Level::Warn, "test.refill").is_some(), "a token refilled while quiet");
     }
 
     #[test]

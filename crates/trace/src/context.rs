@@ -39,9 +39,10 @@ pub struct TraceContext {
 }
 
 /// The current thread's span context, for handing to another thread.
-/// `None` while tracing is disabled or outside any span.
+/// `None` while tracing and profiling are both disabled, or outside
+/// any span.
 pub fn current_context() -> Option<TraceContext> {
-    if !crate::is_enabled() {
+    if !crate::is_active() {
         return None;
     }
     CURRENT.with(|c| c.get())
@@ -50,9 +51,10 @@ pub fn current_context() -> Option<TraceContext> {
 /// Make `ctx` the current context of this thread until the returned
 /// guard drops (restoring whatever was current before). Pool workers
 /// call this with the context captured on the spawning thread so their
-/// spans attach to the right parent. Inert while tracing is disabled.
+/// spans attach to the right parent. Inert while tracing and profiling
+/// are both disabled.
 pub fn enter_context(ctx: Option<TraceContext>) -> ContextGuard {
-    if !crate::is_enabled() {
+    if !crate::is_active() {
         return ContextGuard { prev: None, entered: false };
     }
     let prev = CURRENT.with(|c| c.replace(ctx));
@@ -77,22 +79,37 @@ impl Drop for ContextGuard {
 
 /// Start a hierarchical span. The span becomes the current context of
 /// this thread; it ends (and records its duration) when the guard
-/// drops. While tracing is disabled this costs one relaxed atomic load
-/// and returns an inert guard that never reads the clock.
+/// drops. While tracing and profiling are both disabled this costs one
+/// relaxed atomic load and returns an inert guard that never reads the
+/// clock. With only profiling on, the span maintains the shared frame
+/// stack (for the sampler) but records nothing in the flight recorder.
 pub fn span(name: &'static str) -> SpanGuard {
-    if !crate::is_enabled() {
+    let flags = crate::flags();
+    if flags == 0 {
         return SpanGuard { name, live: None };
     }
+    let traced = crate::is_enabled();
     let (trace_id, parent_id) = match CURRENT.with(|c| c.get()) {
         Some(parent) => (parent.trace_id, parent.span_id),
         None => (next_id(), 0),
     };
     let span_id = next_id();
     let prev = CURRENT.with(|c| c.replace(Some(TraceContext { trace_id, span_id })));
-    recorder::push(trace_id, span_id, parent_id, recorder::EventKind::SpanStart { name });
+    if traced {
+        recorder::push(trace_id, span_id, parent_id, recorder::EventKind::SpanStart { name });
+    }
+    let framed = crate::is_profiling() && crate::stack::push_frame(name);
     SpanGuard {
         name,
-        live: Some(LiveSpan { trace_id, span_id, parent_id, prev, start: Instant::now() }),
+        live: Some(LiveSpan {
+            trace_id,
+            span_id,
+            parent_id,
+            prev,
+            start: Instant::now(),
+            traced,
+            framed,
+        }),
     }
 }
 
@@ -103,6 +120,11 @@ struct LiveSpan {
     parent_id: u64,
     prev: Option<TraceContext>,
     start: Instant,
+    /// SpanStart went to the flight recorder, so SpanEnd must too.
+    traced: bool,
+    /// A frame was pushed onto the shared profiler stack, so exactly
+    /// one pop is owed on drop.
+    framed: bool,
 }
 
 /// An open span; ends when dropped. Created by [`span`].
@@ -139,13 +161,18 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
             CURRENT.with(|c| c.set(live.prev));
-            let dur_us = u64::try_from(live.start.elapsed().as_micros()).unwrap_or(u64::MAX);
-            recorder::push(
-                live.trace_id,
-                live.span_id,
-                live.parent_id,
-                recorder::EventKind::SpanEnd { name: self.name, dur_us },
-            );
+            if live.framed {
+                crate::stack::pop_frame();
+            }
+            if live.traced {
+                let dur_us = u64::try_from(live.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                recorder::push(
+                    live.trace_id,
+                    live.span_id,
+                    live.parent_id,
+                    recorder::EventKind::SpanEnd { name: self.name, dur_us },
+                );
+            }
         }
     }
 }

@@ -88,13 +88,19 @@ fn lock() -> MutexGuard<'static, Cells> {
 
 /// Scope the current thread to window `w` until the guard drops
 /// (restoring the previous window — scopes nest). Inert while tracing
-/// is disabled.
+/// and profiling are both disabled.
 pub fn window_scope(w: u64) -> WindowGuard {
-    if !crate::is_enabled() {
+    if !crate::is_active() {
         return WindowGuard { prev: NO_WINDOW, entered: false };
     }
     let prev = WINDOW.with(|c| c.replace(w));
     WindowGuard { prev, entered: true }
+}
+
+/// The window the current thread is scoped to ([`NO_WINDOW`] outside
+/// any scope). The profiler uses this to file stage costs by window.
+pub fn current_window() -> u64 {
+    WINDOW.with(|c| c.get())
 }
 
 /// Restores the previous window on drop (see [`window_scope`]).
@@ -117,8 +123,10 @@ impl Drop for WindowGuard {
 /// them to the named outcome buckets. Files under the thread's current
 /// [`window_scope`]. The whole call commits under a single lock
 /// acquisition. Near-free when disabled: one relaxed atomic load.
+/// Live under tracing *or* profiling (cost attribution joins against
+/// these counts).
 pub fn record(stage: &str, records_in: u64, out: &[(&str, u64)]) {
-    if !crate::is_enabled() {
+    if !crate::is_active() {
         return;
     }
     let window = WINDOW.with(|c| c.get());

@@ -60,6 +60,7 @@ mod export;
 pub mod json;
 pub mod ledger;
 mod recorder;
+pub mod stack;
 
 pub use context::{current_context, enter_context, span, ContextGuard, SpanGuard, TraceContext};
 pub use export::{chrome_trace_json, tree_dump};
@@ -68,24 +69,62 @@ pub use recorder::{
     set_capacity, Event, EventKind,
 };
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit 0 of [`flags`]: the flight recorder + exporters are recording.
+const FLAG_TRACE: u8 = 1;
+/// Bit 1 of [`flags`]: the profiler stack-snapshot machinery is live.
+const FLAG_PROF: u8 = 2;
+
+/// The one atomic every entry point reads: a bitfield of [`FLAG_TRACE`]
+/// and [`FLAG_PROF`]. Zero means fully inert.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+pub(crate) fn flags() -> u8 {
+    FLAGS.load(Ordering::Relaxed)
+}
 
 /// Start recording trace events and ledger flows.
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    FLAGS.fetch_or(FLAG_TRACE, Ordering::Relaxed);
 }
 
-/// Stop recording; entry points return immediately again.
+/// Stop recording trace events; tracing entry points return
+/// immediately again (profiling, if on, stays on).
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    FLAGS.fetch_and(!FLAG_TRACE, Ordering::Relaxed);
 }
 
 /// Whether tracing is on (one relaxed atomic load — the only cost every
 /// entry point pays while disabled).
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    flags() & FLAG_TRACE != 0
+}
+
+/// Turn the profiler support on: spans additionally maintain a
+/// per-thread shared frame stack (see [`stack`]) that a sampler thread
+/// can snapshot, and the span/context/ledger machinery runs even while
+/// the flight recorder is off (so per-window cost attribution can join
+/// against ledger record counts without paying for event recording).
+pub fn enable_profiling() {
+    FLAGS.fetch_or(FLAG_PROF, Ordering::Relaxed);
+}
+
+/// Turn the profiler support off.
+pub fn disable_profiling() {
+    FLAGS.fetch_and(!FLAG_PROF, Ordering::Relaxed);
+}
+
+/// Whether profiling is on (one relaxed atomic load).
+pub fn is_profiling() -> bool {
+    flags() & FLAG_PROF != 0
+}
+
+/// Whether tracing *or* profiling is on. The span/context/ledger entry
+/// points are live in either mode; the flight-recorder ring records
+/// only under [`is_enabled`].
+pub fn is_active() -> bool {
+    flags() != 0
 }
 
 #[cfg(test)]
@@ -109,6 +148,7 @@ mod tests {
     fn disabled_entry_points_are_inert() {
         let _g = testutil::serial();
         disable();
+        disable_profiling();
         drain();
         ledger::reset();
         {
@@ -123,6 +163,29 @@ mod tests {
         }
         assert!(events().is_empty(), "nothing may be recorded while disabled");
         assert!(ledger::snapshot().is_empty());
+    }
+
+    #[test]
+    fn profile_only_mode_keeps_ledger_live_but_recorder_silent() {
+        let _g = testutil::serial();
+        disable();
+        enable_profiling();
+        drain();
+        ledger::reset();
+        {
+            let s = span("trace.test.profonly");
+            assert!(!s.is_inert(), "profiling keeps spans live");
+            assert!(current_context().is_some(), "context propagates under profiling");
+            let _w = ledger::window_scope(7);
+            assert_eq!(ledger::current_window(), 7);
+            ledger::record("trace.test.profonly", 3, &[("kept", 3)]);
+        }
+        assert!(events().is_empty(), "flight recorder stays silent without the trace bit");
+        let snap = ledger::snapshot();
+        assert_eq!(snap[&("trace.test.profonly".to_string(), 7)].records_in, 3);
+        ledger::reset();
+        disable_profiling();
+        assert!(!is_active());
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Shared per-thread frame stacks for the sampling profiler.
+//!
+//! Every thread that opens a span while profiling is on (see
+//! [`crate::enable_profiling`]) maintains a small fixed-depth stack of
+//! interned frame names in shared memory. A sampler thread (`bs-prof`)
+//! walks the registry at its tick rate and snapshots each stack
+//! *without stopping the writer*: the stack is published through a
+//! seqlock — the writer bumps a version counter to an odd value before
+//! mutating and back to even after, and the reader retries whenever it
+//! observes an odd or changed version. All of it is safe code (atomics
+//! only); a torn read costs a retry, never undefined behaviour.
+//!
+//! Frame names are `&'static str`s interned to small `u32` ids so a
+//! frame push is two relaxed atomic stores. [`resolve`] maps ids back
+//! to names at export time.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Maximum tracked stack depth per thread. Deeper frames are counted
+/// in [`StackSnapshot::truncated`] but not recorded — pipeline stacks
+/// are 3–6 frames deep in practice.
+pub const MAX_DEPTH: usize = 32;
+
+/// One thread's shared frame stack. Writers are the owning thread
+/// only; readers are the sampler.
+struct ThreadStack {
+    /// Seqlock version: odd while the owning thread is mid-update.
+    version: AtomicU64,
+    /// Current depth (may exceed `MAX_DEPTH`; frames beyond it are
+    /// counted but not stored).
+    depth: AtomicU32,
+    /// Interned frame name ids, bottom (outermost) first.
+    frames: [AtomicU32; MAX_DEPTH],
+    /// Human label for the owning thread ("main", "par-worker-3", …).
+    label: Mutex<String>,
+}
+
+impl ThreadStack {
+    fn new(label: String) -> Self {
+        ThreadStack {
+            version: AtomicU64::new(0),
+            depth: AtomicU32::new(0),
+            frames: [const { AtomicU32::new(0) }; MAX_DEPTH],
+            label: Mutex::new(label),
+        }
+    }
+
+    fn begin_write(&self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    fn end_write(&self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// What the sampler saw on one thread at one tick.
+pub struct StackSnapshot {
+    /// Thread label ("main", "par-worker-N", …).
+    pub label: String,
+    /// Interned frame ids, outermost first. Empty = thread was idle
+    /// (alive, no active span).
+    pub frames: Vec<u32>,
+    /// Frames that existed beyond [`MAX_DEPTH`] and were not recorded.
+    pub truncated: u32,
+}
+
+fn registry() -> &'static Mutex<Vec<Weak<ThreadStack>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<ThreadStack>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: std::cell::OnceCell<Arc<ThreadStack>> = const { std::cell::OnceCell::new() };
+    /// Tiny per-thread intern cache keyed on the &'static str's address
+    /// — the same literal resolves without touching the global lock.
+    static NAME_CACHE: std::cell::RefCell<Vec<(usize, u32)>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Intern a static frame name to its id (stable for the process
+/// lifetime). Linear search is fine: stage names number in the dozens.
+pub fn intern(name: &'static str) -> u32 {
+    let addr = name.as_ptr() as usize;
+    let cached = NAME_CACHE
+        .try_with(|c| c.borrow().iter().find(|(a, _)| *a == addr).map(|(_, id)| *id))
+        .ok()
+        .flatten();
+    if let Some(id) = cached {
+        return id;
+    }
+    let mut table = names().lock().unwrap_or_else(|e| e.into_inner());
+    let id = match table.iter().position(|n| *n == name) {
+        Some(i) => i as u32,
+        None => {
+            table.push(name);
+            (table.len() - 1) as u32
+        }
+    };
+    drop(table);
+    let _ = NAME_CACHE.try_with(|c| c.borrow_mut().push((addr, id)));
+    id
+}
+
+/// Resolve an interned id back to its name (export-time only).
+pub fn resolve(id: u32) -> &'static str {
+    names()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(id as usize)
+        .copied()
+        .unwrap_or("(unknown)")
+}
+
+fn with_local<R>(f: impl FnOnce(&ThreadStack) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|cell| {
+            let stack = cell.get_or_init(|| {
+                let name = std::thread::current().name().unwrap_or("thread").to_string();
+                let arc = Arc::new(ThreadStack::new(name));
+                registry().lock().unwrap_or_else(|e| e.into_inner()).push(Arc::downgrade(&arc));
+                arc
+            });
+            f(stack)
+        })
+        .ok()
+}
+
+/// Set the current thread's label as seen in profiler output.
+pub fn set_label(label: &str) {
+    with_local(|s| {
+        *s.label.lock().unwrap_or_else(|e| e.into_inner()) = label.to_string();
+    });
+}
+
+/// Push one frame onto the current thread's stack. Returns `false` if
+/// the thread-local was unavailable (TLS teardown) — the caller must
+/// then skip the matching [`pop_frame`].
+pub fn push_frame(name: &'static str) -> bool {
+    let id = intern(name);
+    with_local(|s| {
+        let depth = s.depth.load(Ordering::Relaxed) as usize;
+        s.begin_write();
+        if depth < MAX_DEPTH {
+            s.frames[depth].store(id, Ordering::Relaxed);
+        }
+        s.depth.store(depth as u32 + 1, Ordering::Relaxed);
+        s.end_write();
+    })
+    .is_some()
+}
+
+/// Pop the top frame pushed by [`push_frame`].
+pub fn pop_frame() {
+    with_local(|s| {
+        let depth = s.depth.load(Ordering::Relaxed);
+        s.begin_write();
+        s.depth.store(depth.saturating_sub(1), Ordering::Relaxed);
+        s.end_write();
+    });
+}
+
+/// Snapshot the current thread's own frames (no seqlock needed — we
+/// are the writer). Used to carry a base stack into pool workers.
+pub fn snapshot_current() -> Vec<u32> {
+    with_local(|s| {
+        let depth = (s.depth.load(Ordering::Relaxed) as usize).min(MAX_DEPTH);
+        (0..depth).map(|i| s.frames[i].load(Ordering::Relaxed)).collect()
+    })
+    .unwrap_or_default()
+}
+
+/// Guard returned by [`enter_base`]; pops the pushed base frames on
+/// drop.
+pub struct BaseGuard {
+    pushed: u32,
+}
+
+impl Drop for BaseGuard {
+    fn drop(&mut self) {
+        for _ in 0..self.pushed {
+            pop_frame();
+        }
+    }
+}
+
+/// Install `frames` (from [`snapshot_current`] on another thread) as
+/// the base of this thread's stack and label the thread, so worker
+/// samples nest under the stage that spawned them.
+pub fn enter_base(frames: &[u32], label: &str) -> BaseGuard {
+    set_label(label);
+    let mut pushed = 0u32;
+    for &id in frames {
+        let ok = with_local(|s| {
+            let depth = s.depth.load(Ordering::Relaxed) as usize;
+            s.begin_write();
+            if depth < MAX_DEPTH {
+                s.frames[depth].store(id, Ordering::Relaxed);
+            }
+            s.depth.store(depth as u32 + 1, Ordering::Relaxed);
+            s.end_write();
+        })
+        .is_some();
+        if ok {
+            pushed += 1;
+        }
+    }
+    BaseGuard { pushed }
+}
+
+/// Walk every live thread stack and snapshot it. Returns the
+/// snapshots and the number of torn reads that had to retry past the
+/// retry budget (counted, skipped — never blocking).
+pub fn sample_all() -> (Vec<StackSnapshot>, u64) {
+    let mut out = Vec::new();
+    let mut torn = 0u64;
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.retain(|w| w.strong_count() > 0);
+    for weak in reg.iter() {
+        let Some(stack) = weak.upgrade() else { continue };
+        match read_consistent(&stack) {
+            Some(snap) => out.push(snap),
+            None => torn += 1,
+        }
+    }
+    (out, torn)
+}
+
+/// Seqlock read with a bounded retry budget.
+fn read_consistent(stack: &ThreadStack) -> Option<StackSnapshot> {
+    for _ in 0..8 {
+        let v1 = stack.version.load(Ordering::Acquire);
+        if !v1.is_multiple_of(2) {
+            std::hint::spin_loop();
+            continue;
+        }
+        let depth = stack.depth.load(Ordering::Relaxed) as usize;
+        let stored = depth.min(MAX_DEPTH);
+        let frames: Vec<u32> =
+            (0..stored).map(|i| stack.frames[i].load(Ordering::Relaxed)).collect();
+        let v2 = stack.version.load(Ordering::Acquire);
+        if v1 == v2 {
+            let label = stack.label.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            return Some(StackSnapshot {
+                label,
+                frames,
+                truncated: depth.saturating_sub(MAX_DEPTH) as u32,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_resolvable() {
+        let a = intern("stack.test.alpha");
+        let b = intern("stack.test.beta");
+        assert_ne!(a, b);
+        assert_eq!(intern("stack.test.alpha"), a);
+        assert_eq!(resolve(a), "stack.test.alpha");
+        assert_eq!(resolve(b), "stack.test.beta");
+    }
+
+    #[test]
+    fn push_pop_round_trips_through_sample_all() {
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = done.clone();
+        let t = std::thread::Builder::new()
+            .name("stack-test-worker".into())
+            .spawn(move || {
+                set_label("stack-test-worker");
+                assert!(push_frame("stack.test.outer"));
+                assert!(push_frame("stack.test.inner"));
+                while !done2.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                pop_frame();
+                pop_frame();
+            })
+            .expect("spawn");
+        // Wait until the worker's two frames are visible.
+        let mut seen = None;
+        for _ in 0..500 {
+            let (snaps, _) = sample_all();
+            if let Some(s) =
+                snaps.into_iter().find(|s| s.label == "stack-test-worker" && s.frames.len() == 2)
+            {
+                seen = Some(s);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Relaxed);
+        t.join().expect("worker");
+        let snap = seen.expect("sampler saw the worker stack");
+        assert_eq!(resolve(snap.frames[0]), "stack.test.outer");
+        assert_eq!(resolve(snap.frames[1]), "stack.test.inner");
+        assert_eq!(snap.truncated, 0);
+    }
+
+    #[test]
+    fn base_frames_nest_workers_under_parent() {
+        let t = std::thread::Builder::new()
+            .name("stack-base-parent".into())
+            .spawn(|| {
+                assert!(push_frame("stack.test.parent"));
+                let base = snapshot_current();
+                pop_frame();
+                base
+            })
+            .expect("spawn");
+        let base = t.join().expect("parent");
+        assert_eq!(base.len(), 1);
+
+        let frames = std::thread::spawn(move || {
+            let _g = enter_base(&base, "stack-base-worker");
+            push_frame("stack.test.child");
+            let mine = snapshot_current();
+            pop_frame();
+            mine
+        })
+        .join()
+        .expect("worker");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(resolve(frames[0]), "stack.test.parent");
+        assert_eq!(resolve(frames[1]), "stack.test.child");
+    }
+
+    #[test]
+    fn deep_stacks_truncate_but_count() {
+        std::thread::Builder::new()
+            .name("stack-deep".into())
+            .spawn(|| {
+                for _ in 0..(MAX_DEPTH + 3) {
+                    push_frame("stack.test.deep");
+                }
+                let (snaps, _) = sample_all();
+                let me = snaps.iter().find(|s| s.label == "stack-deep").expect("own stack");
+                assert_eq!(me.frames.len(), MAX_DEPTH);
+                assert_eq!(me.truncated, 3);
+                for _ in 0..(MAX_DEPTH + 3) {
+                    pop_frame();
+                }
+                assert!(snapshot_current().is_empty());
+            })
+            .expect("spawn")
+            .join()
+            .expect("deep");
+    }
+}

@@ -29,6 +29,9 @@ cargo clippy -p bs-live --all-targets -- -D warnings
 echo "=== cargo clippy bs-sensor (the sensor + sharded streaming core, separately)"
 cargo clippy -p bs-sensor --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-prof (the sampling profiler, separately)"
+cargo clippy -p bs-prof --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
 
@@ -43,6 +46,9 @@ cargo test -q -p bs-mlcore
 
 echo "=== cargo test bs-live (the live observability layer)"
 cargo test -q -p bs-live
+
+echo "=== cargo test bs-prof (sampler, cost attribution, counting allocator)"
+cargo test -q -p bs-prof
 
 echo "=== ML fast-path equivalence (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q -p bs-ml --test mlcore_equivalence
@@ -99,9 +105,44 @@ watch_out="$(target/release/backscatter stats --watch "$addr" --iterations 1)"
 grep -q "health=" <<<"$watch_out"
 wait "$stream_pid"
 
+echo "=== CLI smoke: stream --profile 99 --serve exposes a live flamegraph"
+target/release/backscatter stream --log "$trace_tmp/jp.tsv" --window 600 \
+    --profile 99 --serve 127.0.0.1:0 --linger 8 > "$trace_tmp/prof.out" &
+prof_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^live: listening on //p' "$trace_tmp/prof.out" | head -n1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "stream --profile --serve never announced its address"; exit 1; }
+# The sampler needs a few ticks before the first busy sample lands, so
+# poll /profile/flame (through the CLI's own fetch path) until it is
+# non-empty rather than racing the first window flush.
+flame=""
+for _ in $(seq 1 60); do
+    flame="$(target/release/backscatter stats --fetch "$addr" --path /profile/flame || true)"
+    [ -n "$flame" ] && break
+    sleep 0.1
+done
+[ -n "$flame" ] || { echo "/profile/flame stayed empty under --profile 99"; exit 1; }
+# Folded collapsed-stack syntax: every line is `frame(;frame)* count`,
+# directly consumable by inferno / flamegraph.pl / speedscope.
+bad="$(grep -Ev '^[^ ;]+(;[^ ;]+)* [0-9]+$' <<<"$flame" || true)"
+[ -z "$bad" ] || { echo "malformed folded stack lines:"; echo "$bad"; exit 1; }
+top_json="$(target/release/backscatter stats --fetch "$addr" --path /profile/top)"
+grep -q '"stages"' <<<"$top_json"
+alloc_json="$(target/release/backscatter stats --fetch "$addr" --path /profile/alloc)"
+grep -q '"stages"' <<<"$alloc_json"
+# The human view over the same endpoint: stats --top.
+top_view="$(target/release/backscatter stats --top "$addr" --iterations 1)"
+grep -q "profiler:" <<<"$top_view"
+wait "$prof_pid"
+
 echo "=== perf gate: fresh run vs committed BENCH_pipeline.json"
 # Baselines of -1 are placeholders (record, don't gate); the gate
-# still runs the full measurement suite and its equivalence asserts.
+# still runs the full measurement suite, its equivalence asserts, and
+# the profiler-overhead budget asserts (idle and 99 Hz sampling).
 cargo run --release -q -p bench --bin perf_gate
 
 echo "=== ci: all green"

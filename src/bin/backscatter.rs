@@ -21,6 +21,12 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// Counting allocator so `--profile` attributes allocation pressure to
+/// pipeline stages. One relaxed load per allocation while profiling is
+/// off — measured in the noise (see `bench.prof.overhead_pct`).
+#[global_allocator]
+static ALLOC: dns_backscatter::prof::CountingAlloc = dns_backscatter::prof::CountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -61,6 +67,24 @@ fn main() -> ExitCode {
         dns_backscatter::trace::enable();
         dns_backscatter::trace::install_panic_hook();
     }
+    // --profile <hz> works on every subcommand: start the wall-clock
+    // sampling profiler up front; the command's span stacks, per-stage
+    // ns-per-record costs, and allocation pressure print on exit, and
+    // a --serve endpoint exposes the folded flamegraph live at
+    // /profile/flame while the command runs.
+    let profile_hz: Option<u32> = match flags.get("profile") {
+        None => None,
+        Some(s) => match s.parse::<u32>() {
+            Ok(hz) if hz > 0 => Some(hz),
+            _ => {
+                eprintln!("error: --profile expects a sample rate in Hz (1-1000), got {s:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if let Some(hz) = profile_hz {
+        dns_backscatter::prof::start(hz);
+    }
     // --serve <addr> works on every subcommand: start the bs-live
     // stack (registry sampler + HTTP scrape endpoint + health
     // watchdog) before the command runs and keep it up until exit.
@@ -75,7 +99,8 @@ fn main() -> ExitCode {
                         "cli",
                         "live endpoint up";
                         addr = h.addr(),
-                        routes = "/metrics /snapshot /health /trace/summary",
+                        routes =
+                            "/metrics /snapshot /health /trace/summary /buildinfo /profile/*",
                     );
                     Some(h)
                 }
@@ -142,6 +167,20 @@ fn main() -> ExitCode {
         }
         Ok(())
     });
+    // Stop the sampler and print the profile exit summary: ranked
+    // stages by sample count, the ns-per-record cost table joined
+    // against the conservation ledger, and allocation pressure by
+    // stage. Printed even when the command failed — the samples were
+    // still taken and often explain the failure.
+    if profile_hz.is_some() {
+        dns_backscatter::prof::stop();
+        println!("\n=== profile (top stages by self samples) ===");
+        print!("{}", dns_backscatter::prof::top_table());
+        println!("\n=== per-stage cost (ns per record) ===");
+        print!("{}", dns_backscatter::prof::cost::render());
+        println!("\n=== allocation pressure by stage ===");
+        print!("{}", dns_backscatter::prof::alloc::render());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -356,11 +395,84 @@ fn cmd_stats_watch(flags: &Flags, target: &str) -> Result<(), String> {
     }
 }
 
+/// `backscatter stats --top <addr>`: poll a live `/profile/top`
+/// endpoint and print the profiler's ranked-stage view.
+fn cmd_stats_top(flags: &Flags, target: &str) -> Result<(), String> {
+    let addr: std::net::SocketAddr =
+        target.parse().map_err(|_| format!("bad --top address {target:?} (ip:port)"))?;
+    let iterations: u64 = match flags.get("iterations") {
+        None => 1,
+        Some(s) => s.parse().map_err(|_| format!("bad --iterations {s:?}"))?,
+    };
+    let interval_ms: u64 = match flags.get("interval-ms") {
+        None => 1000,
+        Some(s) => s.parse().map_err(|_| format!("bad --interval-ms {s:?}"))?,
+    };
+    let mut done = 0u64;
+    loop {
+        let (code, body) = dns_backscatter::live::http_get(addr, "/profile/top")
+            .map_err(|e| format!("scrape {addr}: {e}"))?;
+        if code != 200 {
+            return Err(format!("{addr}/profile/top answered HTTP {code}"));
+        }
+        let v = dns_backscatter::trace::json::parse(&body)
+            .map_err(|e| format!("bad /profile/top JSON from {addr}: {e}"))?;
+        let num = |k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        let busy = num("busy");
+        println!(
+            "profiler: hz={:.0} ticks={:.0} busy={busy:.0} idle={:.0} torn={:.0}",
+            num("hz"),
+            num("ticks"),
+            num("idle"),
+            num("torn"),
+        );
+        println!("  {:>8}  {:>8}  {:>6}  stage", "self", "total", "self%");
+        if let Some(stages) = v.get("stages").and_then(|s| s.as_array()) {
+            for st in stages.iter().take(15) {
+                let name = st.get("stage").and_then(|n| n.as_str()).unwrap_or("?");
+                let selfc = st.get("self").and_then(|n| n.as_f64()).unwrap_or(0.0);
+                let total = st.get("total").and_then(|n| n.as_f64()).unwrap_or(0.0);
+                let pct = if busy > 0.0 { selfc * 100.0 / busy } else { 0.0 };
+                println!("  {selfc:>8.0}  {total:>8.0}  {pct:>5.1}%  {name}");
+            }
+        }
+        done += 1;
+        if iterations > 0 && done >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+        println!();
+    }
+}
+
+/// `backscatter stats --fetch <addr> [--path /route]`: one raw GET
+/// against a live endpoint, body to stdout. The machine-readable
+/// escape hatch CI smokes use to pull /profile/flame and friends
+/// without a shell HTTP client.
+fn cmd_stats_fetch(flags: &Flags, target: &str) -> Result<(), String> {
+    let addr: std::net::SocketAddr =
+        target.parse().map_err(|_| format!("bad --fetch address {target:?} (ip:port)"))?;
+    let path = flags.get("path").map(String::as_str).unwrap_or("/snapshot");
+    let (code, body) = dns_backscatter::live::http_get(addr, path)
+        .map_err(|e| format!("fetch {addr}{path}: {e}"))?;
+    if code != 200 {
+        return Err(format!("{addr}{path} answered HTTP {code}"));
+    }
+    print!("{body}");
+    Ok(())
+}
+
 /// `backscatter stats`: describe the telemetry surface, or dump a live
 /// snapshot of the current process (mostly useful with --format).
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     if let Some(target) = flags.get("watch") {
         return cmd_stats_watch(flags, target);
+    }
+    if let Some(target) = flags.get("top") {
+        return cmd_stats_top(flags, target);
+    }
+    if let Some(target) = flags.get("fetch") {
+        return cmd_stats_fetch(flags, target);
     }
     match flags.get("format").map(String::as_str) {
         None | Some("help") => {
@@ -398,6 +510,12 @@ metric naming: dotted crate.stage names, e.g.
   par.run                    latency histogram per parallel region (ns)
   log.error/.warn/.info/.debug     logger event counts
   telemetry.log.suppressed   log lines dropped by per-site rate limits
+  telemetry.log.suppressed.<site>  the same drops broken out by the
+                             rate-limited site (log target)
+  prof.ticks/.threads/.torn  sampling-profiler progress gauges
+  prof.samples.busy          samples that caught a stage on-stack
+  bench.prof.overhead_pct.*  profiler overhead vs the ingest benchmark
+                             (.disabled and .hz99, integer percent)
   live.ticks                 gauge: samples taken by the live sampler
   live.health.status         gauge: watchdog state (0 ok, 1 degraded,
                              2 critical; also served at /health)
@@ -407,8 +525,17 @@ metric naming: dotted crate.stage names, e.g.
 histograms report count, sum, max, p50, p90, p99 in nanoseconds
 (quantiles are interpolated within log-spaced buckets, ≤12.5% error).
 live monitoring: add --serve <ip:port> to any command to scrape
-/metrics, /snapshot, /health, and /trace/summary while it runs;
-follow along with `backscatter stats --watch <ip:port>`.
+/metrics, /snapshot, /health, /trace/summary, /buildinfo, and — with
+--profile — /profile/flame (folded stacks for inferno/speedscope),
+/profile/top, and /profile/alloc while it runs; follow along with
+`backscatter stats --watch <ip:port>` (rates) or
+`backscatter stats --top <ip:port>` (profiler's ranked stages).
+
+profiling: add --profile <hz> to any command to sample every worker's
+span stack at <hz> Hz (99 is a good default) and attribute exact
+per-stage wall time and allocation pressure; a ranked-stage table,
+the ns-per-record cost table (joined against the conservation
+ledger), and the allocation profile print on exit.
 logging: set BS_LOG=off|error|warn|info|debug (default info) and
 BS_LOG_FORMAT=text|json (default text; json emits one object per
 line: ts_ms, level, target, message, kvs).
@@ -471,19 +598,26 @@ commands:
             describe the telemetry metrics, or dump a snapshot
   stats     --watch <ip:port> [--iterations N] [--interval-ms M]
             poll a --serve endpoint's /snapshot and print live rates
+  stats     --top <ip:port> [--iterations N] [--interval-ms M]
+            poll a --serve endpoint's /profile/top and print the
+            sampling profiler's ranked-stage view
+  stats     --fetch <ip:port> [--path /route]
+            one raw GET against a --serve endpoint, body to stdout
   trace     --file <trace.json>
             inspect a --trace output: phases, lanes, hottest spans
 
 every command accepts --serve <ip:port> to expose live observability
 over HTTP while it runs (/metrics Prometheus text, /snapshot JSON
-with windowed rates, /health with watchdog status, /trace/summary;
-port 0 picks an ephemeral port, printed on stdout), --metrics <path>
-to write a JSON telemetry
-snapshot (counters, gauges, latency histograms) on success, --trace
-<path> to record a causal trace and write Chrome trace-event JSON
-(open in Perfetto / chrome://tracing), and --threads <N> to size the
-worker pool (default: BS_THREADS env, else all cores; results are
-bit-identical at any thread count); set
+with windowed rates, /health with watchdog status, /trace/summary,
+/buildinfo, /profile/flame|top|alloc; port 0 picks an ephemeral
+port, printed on stdout), --profile <hz> to sample span stacks at
+<hz> Hz and print ranked stages, per-stage ns-per-record costs, and
+allocation pressure on exit, --metrics <path> to write a JSON
+telemetry snapshot (counters, gauges, latency histograms) on
+success, --trace <path> to record a causal trace and write Chrome
+trace-event JSON (open in Perfetto / chrome://tracing), and
+--threads <N> to size the worker pool (default: BS_THREADS env, else
+all cores; results are bit-identical at any thread count); set
 BS_LOG=off|error|warn|info|debug to control log verbosity and
 BS_LOG_FORMAT=json for one JSON object per log line.
 
