@@ -280,7 +280,7 @@ fn prof_overhead() -> [(&'static str, i64); 2] {
 /// (≈600 originators × 22 features × 12 classes). Runs single-threaded
 /// (the caller pins the pool) so the ratio isolates the algorithmic
 /// speedup. Asserts bit-identical models before recording anything.
-fn ml_throughput() -> [(&'static str, i64); 7] {
+fn ml_throughput() -> [(&'static str, i64); 8] {
     use backscatter_core::ml::{Dataset, Forest, ForestParams, Sample, Svm, SvmParams};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -317,9 +317,11 @@ fn ml_throughput() -> [(&'static str, i64); 7] {
     assert_eq!(fast_svm, ref_svm, "Gram-cached SVM must equal the reference bit for bit");
 
     let xs: Vec<Vec<f64>> = data.samples.iter().map(|s| s.features.clone()).collect();
-    let (predict_batch_rps, batch) = rps(xs.len(), || fast_forest.predict_all(&xs));
+    let (predict_lanes_rps, lanes) = rps(xs.len(), || fast_forest.predict_all(&xs));
+    let (predict_batch_rps, batch) = rps(xs.len(), || fast_forest.predict_all_rows(&xs));
     let (predict_scalar_rps, scalar) =
         rps(xs.len(), || xs.iter().map(|x| fast_forest.predict(x)).collect::<Vec<_>>());
+    assert_eq!(lanes, batch, "lane prediction must equal the row-batch reference");
     assert_eq!(batch, scalar, "batch prediction must equal per-row prediction");
 
     [
@@ -328,8 +330,57 @@ fn ml_throughput() -> [(&'static str, i64); 7] {
         ("bench.ml.forest_fit_reference_rps", forest_ref_rps),
         ("bench.ml.svm_fit_fast_rps", svm_fast_rps),
         ("bench.ml.svm_fit_reference_rps", svm_ref_rps),
+        ("bench.ml.forest_predict_lanes_rps", predict_lanes_rps),
         ("bench.ml.forest_predict_batch_rps", predict_batch_rps),
         ("bench.ml.forest_predict_scalar_rps", predict_scalar_rps),
+    ]
+}
+
+/// Static-feature matcher throughput on a deterministic mixed corpus of
+/// reverse names (rule hits, suffix hits, near-misses, unclassified),
+/// packed fast matcher vs the byte-at-a-time reference. Asserts
+/// identical classifications before recording anything.
+fn static_features_throughput() -> [(&'static str, i64); 2] {
+    use backscatter_core::dns::DomainName;
+    use backscatter_core::sensor::static_features::{
+        classify_name_with_order, classify_name_with_order_reference, MatchOrder,
+    };
+
+    const NAMES: usize = 20_000;
+    let heads = [
+        "mail",
+        "mailing",
+        "ns1-cache",
+        "host1-2-3-4",
+        "customer-9",
+        "newsletter7",
+        "wallet",
+        "zxqv77",
+        "www",
+        "ironport2",
+        "a96-7-4-2",
+    ];
+    let tails = ["example.com", "deploy.akamai.sim", "compute.amazonaws.sim", "bigisp.net"];
+    let mut state: u64 = 0xFEA7_0001;
+    let names: Vec<DomainName> = (0..NAMES)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let h = heads[(state >> 16) as usize % heads.len()];
+            let t = tails[(state >> 40) as usize % tails.len()];
+            DomainName::parse(&format!("{h}.{t}")).expect("corpus names are valid")
+        })
+        .collect();
+
+    let classify_all = |f: fn(&DomainName, MatchOrder) -> _| {
+        names.iter().map(|n| f(n, MatchOrder::LeftmostFirst) as usize).collect::<Vec<_>>()
+    };
+    let (fast_rps, fast) = rps(NAMES, || classify_all(classify_name_with_order));
+    let (ref_rps, reference) = rps(NAMES, || classify_all(classify_name_with_order_reference));
+    assert_eq!(fast, reference, "packed matcher must equal the byte-at-a-time reference");
+
+    [
+        ("bench.sensor.static_features_rps", fast_rps),
+        ("bench.sensor.static_features_reference_rps", ref_rps),
     ]
 }
 
@@ -355,6 +406,10 @@ pub fn measure_all() -> MeasureSummary {
     backscatter_core::par::set_threads(1);
     let ml_gauges = ml_throughput();
     backscatter_core::par::set_threads(0);
+
+    // Static-feature matcher throughput (single-threaded by nature:
+    // one tight loop over the name corpus).
+    let static_gauges = static_features_throughput();
 
     // Sharded-ingest scaling curve, still with telemetry off; sizes
     // the pool per lane count and restores the default width after.
@@ -426,6 +481,11 @@ pub fn measure_all() -> MeasureSummary {
     // ML throughput: rows/second trained (and rows/second classified),
     // `bs-mlcore` columnar fast paths vs the retained references.
     for (name, value) in ml_gauges {
+        backscatter_core::telemetry::gauge_set(name, value);
+    }
+    // Static-feature matcher: names/second, packed `bs-simd` matcher
+    // vs the byte-at-a-time reference, equivalence-asserted.
+    for (name, value) in static_gauges {
         backscatter_core::telemetry::gauge_set(name, value);
     }
     // Sharded-ingest scaling: streaming rps at 1/2/4/8 lanes plus the

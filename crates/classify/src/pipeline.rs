@@ -100,12 +100,18 @@ impl TrainedClassifier {
     ///
     /// Originators classify in parallel chunks, each chunk served by
     /// the ensemble's batch path (every tree arena streams once per
-    /// chunk instead of once per originator). The result map is
-    /// identical at any thread count (it is keyed, and each prediction
-    /// depends only on its own feature vector).
+    /// chunk instead of once per originator; within a chunk eight rows
+    /// descend per tree level through the `bs-simd` lane path). The
+    /// result map is identical at any thread count (it is keyed, and
+    /// each prediction depends only on its own feature vector).
     pub fn classify_all(&self, features: &FeatureMap) -> BTreeMap<Ipv4Addr, ApplicationClass> {
         let entries: Vec<(&Ipv4Addr, &FeatureVector)> = features.iter().collect();
-        bs_par::par_chunks(&entries, 64, |_, chunk| {
+        // Spread the batch across the pool, but keep every chunk a
+        // multiple of the lane width so only the final chunk of the
+        // whole batch runs a ragged tail block.
+        let per_thread = entries.len().div_ceil(bs_par::threads().max(1));
+        let chunk_size = per_thread.next_multiple_of(bs_simd::LANES).clamp(bs_simd::LANES, 256);
+        bs_par::par_chunks(&entries, chunk_size, |_, chunk| {
             let xs: Vec<Vec<f64>> = chunk.iter().map(|(_, fv)| fv.to_vec()).collect();
             chunk
                 .iter()
@@ -190,6 +196,27 @@ mod tests {
         };
         let pipe = ClassifierPipeline::random_forest();
         assert!(pipe.train(&only_spam, &features, 1).is_none());
+    }
+
+    /// Regression for the lane-path chunking: batch sizes whose tail
+    /// block is ragged (`n % LANES != 0`) must classify identically to
+    /// the per-row scalar path — padding lanes' outputs are discarded,
+    /// never mixed into real rows.
+    #[test]
+    fn classify_all_ragged_tails_match_per_row_classify() {
+        let (labeled, features) = setup();
+        let pipe =
+            ClassifierPipeline { algorithm: Algorithm::Cart(CartParams::default()), runs: 1 };
+        let model = pipe.train(&labeled, &features, 5).expect("trainable");
+        for n in [1usize, 7, 8, 9, 17, 30] {
+            let subset: FeatureMap =
+                features.iter().take(n).map(|(ip, fv)| (*ip, fv.clone())).collect();
+            let batch = model.classify_all(&subset);
+            assert_eq!(batch.len(), n);
+            for (ip, fv) in &subset {
+                assert_eq!(batch[ip], model.classify(fv), "n = {n}, originator {ip}");
+            }
+        }
     }
 
     #[test]

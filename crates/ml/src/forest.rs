@@ -9,7 +9,7 @@
 
 use crate::dataset::Dataset;
 use crate::tree::{CartParams, DecisionTree, ReferenceTree};
-use bs_mlcore::argmax_first;
+use bs_mlcore::{argmax_first, LaneBlocks};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -113,10 +113,36 @@ impl Forest {
         argmax_first(&votes)
     }
 
-    /// Predict a batch: one reused vote buffer across the whole batch,
-    /// so unlike per-row [`Forest::predict`] calls nothing is allocated
-    /// inside the loop.
+    /// Predict a batch through the lane-parallel blocked descent: the
+    /// rows transpose into [`LaneBlocks`] **once**, then every tree
+    /// predicts eight rows per level ([`bs_mlcore::FlatTree::predict_lanes`])
+    /// into one reused class buffer, voting into a flat per-row
+    /// histogram. Bit-identical to [`Forest::predict_all_rows`] — the
+    /// per-tree classes are identical (same IEEE compares, lane by
+    /// lane), the vote counts are exact integers, and ties resolve by
+    /// the same [`argmax_first`].
     pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        let _cost = bs_prof::stage("ml.predict.lanes", bs_trace::ledger::current_window());
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let blocks = LaneBlocks::from_rows(xs, self.trees[0].n_features());
+        let mut votes = vec![0u32; xs.len() * self.n_classes];
+        let mut classes: Vec<u32> = Vec::with_capacity(xs.len());
+        for t in &self.trees {
+            classes.clear();
+            t.predict_blocked_into(&blocks, &mut classes);
+            for (row, &c) in classes.iter().enumerate() {
+                votes[row * self.n_classes + c as usize] += 1;
+            }
+        }
+        votes.chunks(self.n_classes).map(argmax_first).collect()
+    }
+
+    /// Row-at-a-time batch prediction with one reused vote buffer — the
+    /// executable reference the lane path is property-tested against
+    /// (`tests/simd_equivalence.rs`).
+    pub fn predict_all_rows(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         let mut votes = vec![0u32; self.n_classes];
         xs.iter()
             .map(|x| {
@@ -270,6 +296,7 @@ mod tests {
         for (x, b) in xs.iter().zip(&batch) {
             assert_eq!(f.predict(x), *b);
         }
+        assert_eq!(batch, f.predict_all_rows(&xs), "lane path ≡ row reference");
         assert!(f.predict_all(&[]).is_empty());
     }
 

@@ -27,7 +27,7 @@
 //! achievable rather than merely approximate.
 
 use crate::dataset::Dataset;
-use bs_mlcore::{argmax_first, ColumnarView, FlatTree, PresortedColumns, LEAF};
+use bs_mlcore::{argmax_first, ColumnarView, FlatTree, LaneBlocks, PresortedColumns, LEAF};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -122,12 +122,36 @@ impl DecisionTree {
         self.flat.predict(x) as usize
     }
 
-    /// Predict many feature vectors in one pass over the arena.
+    /// Predict many feature vectors through the lane-parallel blocked
+    /// descent ([`FlatTree::predict_lanes`]): transpose once, then
+    /// eight rows walk the arena per tree level. Bit-identical to
+    /// [`DecisionTree::predict_all_rows`], the retained row-at-a-time
+    /// reference.
     pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        let blocks = LaneBlocks::from_rows(xs, self.n_features);
+        self.flat.predict_blocked(&blocks).into_iter().map(|c| c as usize).collect()
+    }
+
+    /// Row-at-a-time batch prediction — the executable reference the
+    /// lane path is property-tested against (`tests/simd_equivalence.rs`).
+    pub fn predict_all_rows(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         for x in xs {
             assert_eq!(x.len(), self.n_features, "feature arity mismatch");
         }
         self.flat.predict_all(xs).into_iter().map(|c| c as usize).collect()
+    }
+
+    /// Predict each block of a pre-transposed batch, appending into a
+    /// caller-owned buffer (forest voting support: the forest
+    /// transposes once and reuses the buffer across trees).
+    pub(crate) fn predict_blocked_into(&self, blocks: &LaneBlocks, out: &mut Vec<u32>) {
+        assert_eq!(blocks.n_features(), self.n_features, "feature arity mismatch");
+        self.flat.predict_blocked_into(blocks, out);
+    }
+
+    /// Feature arity this tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// Raw (unnormalized) per-feature impurity decreases.

@@ -1,0 +1,115 @@
+//! Transposed row-block layout for lane-parallel prediction.
+//!
+//! Row-major `xs[row][feature]` storage puts the eight rows a lane
+//! batch wants at stride `n_features` apart — every per-level gather
+//! touches eight cache lines. [`LaneBlocks`] transposes each block of
+//! [`LANES`] rows to feature-major order, so the eight values of one
+//! feature sit contiguously: `data[(block · n_features + feature) ·
+//! LANES + lane]`. One transposition serves every tree of a forest.
+//!
+//! The last block is zero-padded when `n_rows % LANES != 0`; padding
+//! lanes traverse the tree like any other row (the arena indices they
+//! follow are always valid) and their outputs are simply discarded by
+//! [`crate::FlatTree::predict_blocked`].
+
+use bs_simd::LANES;
+
+/// Feature-major blocks of [`LANES`] rows each (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneBlocks {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_features: usize,
+}
+
+impl LaneBlocks {
+    /// Transpose `rows` (each of length `n_features`) into lane blocks.
+    ///
+    /// # Panics
+    /// If any row's length differs from `n_features`.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R], n_features: usize) -> Self {
+        let n_rows = rows.len();
+        let n_blocks = n_rows.div_ceil(LANES);
+        let mut data = vec![0.0; n_blocks * n_features * LANES];
+        for (r, row) in rows.iter().enumerate() {
+            let row = row.as_ref();
+            assert_eq!(row.len(), n_features, "feature arity mismatch in row {r}");
+            let base = (r / LANES) * n_features * LANES + r % LANES;
+            for (f, &v) in row.iter().enumerate() {
+                data[base + f * LANES] = v;
+            }
+        }
+        LaneBlocks { data, n_rows, n_features }
+    }
+
+    /// Number of (real, unpadded) rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Features per row.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of [`LANES`]-row blocks (the last may be ragged).
+    pub fn n_blocks(&self) -> usize {
+        self.n_rows.div_ceil(LANES)
+    }
+
+    /// Block `b` as a feature-major slice of `n_features × LANES`
+    /// values: feature `f` of lane `l` is at `f * LANES + l`.
+    pub fn block(&self, b: usize) -> &[f64] {
+        let w = self.n_features * LANES;
+        &self.data[b * w..(b + 1) * w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposes_feature_major_with_zero_padding() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|r| vec![r as f64, 100.0 + r as f64]).collect();
+        let blocks = LaneBlocks::from_rows(&rows, 2);
+        assert_eq!(blocks.n_rows(), 10);
+        assert_eq!(blocks.n_features(), 2);
+        assert_eq!(blocks.n_blocks(), 2);
+        let b0 = blocks.block(0);
+        for l in 0..LANES {
+            assert_eq!(b0[l], l as f64, "feature 0 lane {l}");
+            assert_eq!(b0[LANES + l], 100.0 + l as f64, "feature 1 lane {l}");
+        }
+        let b1 = blocks.block(1);
+        assert_eq!(&b1[..2], &[8.0, 9.0], "ragged tail rows");
+        assert_eq!(&b1[2..LANES], &[0.0; LANES - 2], "padding lanes are zero");
+    }
+
+    #[test]
+    fn empty_and_exact_multiples() {
+        let none: Vec<Vec<f64>> = vec![];
+        let b = LaneBlocks::from_rows(&none, 3);
+        assert_eq!(b.n_blocks(), 0);
+        assert_eq!(b.n_rows(), 0);
+        let full: Vec<Vec<f64>> = (0..LANES).map(|r| vec![r as f64]).collect();
+        let b = LaneBlocks::from_rows(&full, 1);
+        assert_eq!(b.n_blocks(), 1);
+        assert_eq!(b.block(0), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn zero_features_yields_empty_blocks() {
+        let rows: Vec<Vec<f64>> = vec![vec![]; 5];
+        let b = LaneBlocks::from_rows(&rows, 0);
+        assert_eq!(b.n_rows(), 5);
+        assert_eq!(b.n_blocks(), 1);
+        assert!(b.block(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn mismatched_row_is_rejected() {
+        LaneBlocks::from_rows(&[vec![1.0, 2.0], vec![3.0]], 2);
+    }
+}

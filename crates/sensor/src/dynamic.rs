@@ -156,7 +156,45 @@ pub(crate) fn unique_by<V: Ord + Send>(
 /// Shannon entropy of the value histogram, normalized by `ln(alphabet)`
 /// so results land in `[0, 1]`. `alphabet` is the size of the
 /// meaningful value space (number of queriers for /24s, 256 for /8s).
-fn normalized_entropy(values: &[u32], alphabet: f64) -> f64 {
+///
+/// Fast path: instead of a `BTreeMap` histogram (one allocation and a
+/// tree probe per value), sort a scratch copy ascending and count runs
+/// in one linear sweep — branch-light, cache-linear, and the run
+/// lengths emerge in **ascending value order**, which is exactly the
+/// `BTreeMap` iteration order, so the `-p·ln p` accumulation visits
+/// identical terms in the identical order and the sum is bit-identical
+/// to [`normalized_entropy_reference`].
+pub fn normalized_entropy(values: &[u32], alphabet: f64) -> f64 {
+    if values.len() <= 1 || alphabet <= 1.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = values.len() as f64;
+    // -0.0 is `Sum`'s float identity: a pure-run histogram contributes
+    // only -1·ln 1 = -0.0 terms, and the reference's `.sum()` keeps
+    // that sign where a +0.0 seed would flush it.
+    let mut h = -0.0f64;
+    let mut run = 1usize;
+    for k in 1..sorted.len() {
+        if sorted[k] == sorted[k - 1] {
+            run += 1;
+        } else {
+            let p = run as f64 / n;
+            h += -p * p.ln();
+            run = 1;
+        }
+    }
+    let p = run as f64 / n;
+    h += -p * p.ln();
+    (h / alphabet.ln()).clamp(0.0, 1.0)
+}
+
+/// The retained `BTreeMap`-histogram reference for
+/// [`normalized_entropy`] — the executable specification the sorted-run
+/// fast path is property-tested bit-identical to
+/// (`tests/simd_equivalence.rs`).
+pub fn normalized_entropy_reference(values: &[u32], alphabet: f64) -> f64 {
     if values.len() <= 1 || alphabet <= 1.0 {
         return 0.0;
     }
@@ -268,6 +306,27 @@ mod tests {
         };
         let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(0), SimTime(3600), 4, 2);
         assert_eq!(f, DynamicFeatures::default());
+    }
+
+    #[test]
+    fn entropy_fast_path_is_bit_identical_to_reference() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![5],
+            vec![1, 1, 1],
+            vec![3, 1, 2, 1, 3, 3, 7],
+            (0..100).map(|i| i * i % 17).collect(),
+            (0..1000).map(|i| i % 3).collect(),
+        ];
+        for values in &cases {
+            for alphabet in [0.5, 1.0, 2.0, 17.0, 256.0, 1e6] {
+                assert_eq!(
+                    normalized_entropy(values, alphabet).to_bits(),
+                    normalized_entropy_reference(values, alphabet).to_bits(),
+                    "values {values:?} alphabet {alphabet}"
+                );
+            }
+        }
     }
 
     #[test]

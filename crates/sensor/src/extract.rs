@@ -121,11 +121,15 @@ pub fn extract_from_observations(
         );
     }
     let out: Vec<OriginatorFeatures> = bs_par::par_map(&selected, |_, &o| {
-        let mut static_counts = [0usize; 14];
-        for q in &o.queriers {
-            let f = classify_querier_name(&info.querier_name(*q));
-            static_counts[f.index()] += 1;
-        }
+        let static_counts = {
+            let _cost = bs_prof::stage("sensor.static.lanes", bs_trace::ledger::current_window());
+            let mut counts = [0usize; 14];
+            for q in &o.queriers {
+                let f = classify_querier_name(&info.querier_name(*q));
+                counts[f.index()] += 1;
+            }
+            counts
+        };
         let nq = o.querier_count().max(1) as f64;
         let mut static_fractions = [0.0; 14];
         for (frac, count) in static_fractions.iter_mut().zip(static_counts) {

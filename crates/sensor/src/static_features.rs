@@ -8,7 +8,9 @@
 
 use bs_dns::DomainName;
 use bs_netsim::types::NameOutcome;
+use bs_simd::bytes::{fold_ascii_lower, pack_prefix, prefix_mask};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// The fourteen static querier categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -154,7 +156,11 @@ pub enum MatchOrder {
     RightmostFirst,
 }
 
-fn classify_component(component: &[u8]) -> Option<StaticFeature> {
+/// The reference component classifier: keyword-at-a-time, byte-at-a-time
+/// case-insensitive comparison. Retained as the executable specification
+/// of the first-match rule the packed fast path below must reproduce
+/// (`tests/simd_equivalence.rs`).
+fn classify_component_reference(component: &[u8]) -> Option<StaticFeature> {
     for (feature, keywords) in RULES {
         for kw in *keywords {
             if component_matches(component, kw.as_bytes()) {
@@ -178,12 +184,107 @@ fn classify_component(component: &[u8]) -> Option<StaticFeature> {
     }
 }
 
-/// Classify a reverse name into a static category with an explicit
-/// component-scan order.
-pub fn classify_name_with_order(name: &DomainName, order: MatchOrder) -> StaticFeature {
-    fn classify_seq<'a>(iter: impl Iterator<Item = &'a [u8]>) -> StaticFeature {
+/// One keyword of the flattened rule table, with its first eight bytes
+/// packed for a single masked `u64` comparison.
+struct PackedKeyword {
+    /// First `min(8, len)` keyword bytes, little-endian, zero-padded.
+    prefix: u64,
+    /// `prefix_mask(len)` — selects the bytes `prefix` covers.
+    mask: u64,
+    /// Keyword bytes beyond the eighth (usually empty).
+    tail: &'static [u8],
+    /// Full keyword length.
+    len: usize,
+    /// Whole-component match (operator suffixes) vs. keyword-prefix
+    /// match with a `-`/digit boundary (the RULES table).
+    exact: bool,
+    feature: StaticFeature,
+}
+
+/// The flattened keyword table in **exactly** the reference's scan
+/// order: every RULES keyword (rule priority, then list order), then
+/// the whole-component operator suffixes. First match wins, so order
+/// is semantics.
+fn packed_rules() -> &'static [PackedKeyword] {
+    static TABLE: OnceLock<Vec<PackedKeyword>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Vec::new();
+        let mut push = |kw: &'static str, exact: bool, feature: StaticFeature| {
+            let b = kw.as_bytes();
+            t.push(PackedKeyword {
+                prefix: pack_prefix(b),
+                mask: prefix_mask(b.len()),
+                tail: if b.len() > 8 { &b[8..] } else { &[] },
+                len: b.len(),
+                exact,
+                feature,
+            });
+        };
+        for (feature, keywords) in RULES {
+            for kw in *keywords {
+                push(kw, false, *feature);
+            }
+        }
+        for s in CDN_SUFFIXES {
+            push(s, true, StaticFeature::Cdn);
+        }
+        push("amazonaws", true, StaticFeature::Aws);
+        push("azure", true, StaticFeature::Ms);
+        push("msazure", true, StaticFeature::Ms);
+        push("google", true, StaticFeature::Google);
+        t
+    })
+}
+
+/// The packed fast component classifier: fold the component to
+/// lowercase **once** in branchless 8-byte blocks, pack its first
+/// eight bytes, then test each keyword with one masked `u64` equality
+/// (plus a short tail compare for the few keywords longer than eight
+/// bytes) instead of a byte-at-a-time case-insensitive loop per
+/// keyword. Identical first-match semantics to
+/// [`classify_component_reference`]: same table order, same boundary
+/// rule (`-`/digit continues a keyword, a letter does not).
+fn classify_component(component: &[u8]) -> Option<StaticFeature> {
+    let n = component.len();
+    let mut buf = [0u8; 64];
+    if n > buf.len() {
+        // DNS labels are ≤ 63 bytes; anything longer (not constructible
+        // through bs_dns) falls back to the reference.
+        return classify_component_reference(component);
+    }
+    let folded = &mut buf[..n];
+    fold_ascii_lower(component, folded);
+    let packed = pack_prefix(folded);
+    for e in packed_rules() {
+        let fits = if e.exact { n == e.len } else { n >= e.len };
+        if !fits || packed & e.mask != e.prefix {
+            continue;
+        }
+        if e.len > 8 && folded[8..e.len] != *e.tail {
+            continue;
+        }
+        if !e.exact && n > e.len {
+            let next = folded[e.len];
+            if next != b'-' && !next.is_ascii_digit() {
+                continue;
+            }
+        }
+        return Some(e.feature);
+    }
+    None
+}
+
+fn classify_with(
+    name: &DomainName,
+    order: MatchOrder,
+    classify: impl Fn(&[u8]) -> Option<StaticFeature>,
+) -> StaticFeature {
+    fn classify_seq<'a>(
+        iter: impl Iterator<Item = &'a [u8]>,
+        classify: impl Fn(&[u8]) -> Option<StaticFeature>,
+    ) -> StaticFeature {
         for component in iter {
-            if let Some(f) = classify_component(component) {
+            if let Some(f) = classify(component) {
                 return f;
             }
         }
@@ -191,9 +292,22 @@ pub fn classify_name_with_order(name: &DomainName, order: MatchOrder) -> StaticF
     }
     let labels = name.labels().iter().map(|l| l.as_str().as_bytes());
     match order {
-        MatchOrder::LeftmostFirst => classify_seq(labels),
-        MatchOrder::RightmostFirst => classify_seq(labels.rev()),
+        MatchOrder::LeftmostFirst => classify_seq(labels, classify),
+        MatchOrder::RightmostFirst => classify_seq(labels.rev(), classify),
     }
+}
+
+/// Classify a reverse name into a static category with an explicit
+/// component-scan order (packed fast matcher).
+pub fn classify_name_with_order(name: &DomainName, order: MatchOrder) -> StaticFeature {
+    classify_with(name, order, classify_component)
+}
+
+/// [`classify_name_with_order`] through the retained byte-at-a-time
+/// reference matcher — the executable specification the packed fast
+/// path is property-tested against.
+pub fn classify_name_with_order_reference(name: &DomainName, order: MatchOrder) -> StaticFeature {
+    classify_with(name, order, classify_component_reference)
 }
 
 /// Classify a reverse name into a static category (the paper's
@@ -276,6 +390,38 @@ mod tests {
         assert_eq!(classify_querier_name(&NameOutcome::Unreachable), StaticFeature::Unreach);
         let n = DomainName::parse("smtp.example.com").unwrap();
         assert_eq!(classify_querier_name(&NameOutcome::Name(n)), StaticFeature::Mail);
+    }
+
+    #[test]
+    fn packed_matcher_matches_reference_on_adversarial_names() {
+        let cases = [
+            "mail.ns.example.com",
+            "MAIL-NS.Example.COM",
+            "mailing.example.com",
+            "newsletter7.example.com", // >8-byte keyword with boundary digit
+            "newslettex.example.com",  // 8-byte prefix matches, tail differs
+            "NewsLetter.example.com",  // >8-byte keyword, mixed case
+            "chinacache.sim",          // >8-byte exact suffix
+            "chinacache1.sim",         // exact suffix must not take a digit tail
+            "amazonaws.sim",
+            "amazonaws1.sim",
+            "pop3.example.com",
+            "a96-7-4-2.deploy.akamai.sim",
+            "wallet.example.com",
+            "fw.example.com",     // keyword == whole component
+            "m.example.com",      // shorter than every keyword
+            "customer-1.isp.net", // exactly 8 bytes, dash boundary
+        ];
+        for c in cases {
+            let n = DomainName::parse(c).unwrap();
+            for order in [MatchOrder::LeftmostFirst, MatchOrder::RightmostFirst] {
+                assert_eq!(
+                    classify_name_with_order(&n, order),
+                    classify_name_with_order_reference(&n, order),
+                    "{c} under {order:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Fixed-width lane types over plain arrays.
+//!
+//! Every method body is a straight-line loop over [`LANES`] elements
+//! with no early exit and no per-lane branching — the shape LLVM's
+//! autovectorizer handles. Masks are full-width integers (`0` /
+//! `u32::MAX`) so select is pure bit arithmetic.
+
+use crate::LANES;
+
+/// Eight `u32` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct U32x8([u32; LANES]);
+
+/// Eight `f64` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct F64x8([f64; LANES]);
+
+/// Eight comparison results, one full-width integer per lane
+/// (`0` = false, `u32::MAX` = true).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mask8([u32; LANES]);
+
+impl U32x8 {
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: u32) -> Self {
+        U32x8([v; LANES])
+    }
+
+    /// Lanes from an array.
+    #[inline]
+    pub fn from_array(a: [u32; LANES]) -> Self {
+        U32x8(a)
+    }
+
+    /// Lane `l` computed as `f(l)` — the gather shape: eight
+    /// independent loads the CPU can issue in parallel.
+    #[inline]
+    pub fn from_fn(f: impl FnMut(usize) -> u32) -> Self {
+        U32x8(std::array::from_fn(f))
+    }
+
+    /// The lanes as an array.
+    #[inline]
+    pub fn to_array(self) -> [u32; LANES] {
+        self.0
+    }
+
+    /// Lane `l`.
+    #[inline]
+    pub fn get(self, l: usize) -> u32 {
+        self.0[l]
+    }
+
+    /// Lane-wise wrapping add.
+    #[inline]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        U32x8(std::array::from_fn(|l| self.0[l].wrapping_add(rhs.0[l])))
+    }
+
+    /// Lane-wise equality.
+    #[inline]
+    pub fn eq(self, rhs: Self) -> Mask8 {
+        Mask8(std::array::from_fn(|l| if self.0[l] == rhs.0[l] { u32::MAX } else { 0 }))
+    }
+
+    /// Horizontal sum (exact integer reduction, wrapping).
+    #[inline]
+    pub fn sum(self) -> u32 {
+        let mut acc = 0u32;
+        for l in 0..LANES {
+            acc = acc.wrapping_add(self.0[l]);
+        }
+        acc
+    }
+}
+
+impl F64x8 {
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: f64) -> Self {
+        F64x8([v; LANES])
+    }
+
+    /// Lanes from an array.
+    #[inline]
+    pub fn from_array(a: [f64; LANES]) -> Self {
+        F64x8(a)
+    }
+
+    /// Lane `l` computed as `f(l)` (the gather shape).
+    #[inline]
+    pub fn from_fn(f: impl FnMut(usize) -> f64) -> Self {
+        F64x8(std::array::from_fn(f))
+    }
+
+    /// The lanes as an array.
+    #[inline]
+    pub fn to_array(self) -> [f64; LANES] {
+        self.0
+    }
+
+    /// Lane `l`.
+    #[inline]
+    pub fn get(self, l: usize) -> f64 {
+        self.0[l]
+    }
+
+    /// Lane-wise `self <= rhs`, exactly IEEE `<=` per lane (NaN lanes
+    /// compare false, matching the scalar `if x <= thr` branch).
+    #[inline]
+    pub fn le(self, rhs: Self) -> Mask8 {
+        Mask8(std::array::from_fn(|l| if self.0[l] <= rhs.0[l] { u32::MAX } else { 0 }))
+    }
+}
+
+impl Mask8 {
+    /// All lanes true.
+    #[inline]
+    pub fn splat(v: bool) -> Self {
+        Mask8([if v { u32::MAX } else { 0 }; LANES])
+    }
+
+    /// Is lane `l` true?
+    #[inline]
+    pub fn test(self, l: usize) -> bool {
+        self.0[l] != 0
+    }
+
+    /// True iff every lane is true. Branch-free accumulation; the one
+    /// branch lives in the caller.
+    #[inline]
+    pub fn all(self) -> bool {
+        let mut acc = u32::MAX;
+        for l in 0..LANES {
+            acc &= self.0[l];
+        }
+        acc == u32::MAX
+    }
+
+    /// True iff any lane is true.
+    #[inline]
+    pub fn any(self) -> bool {
+        let mut acc = 0u32;
+        for l in 0..LANES {
+            acc |= self.0[l];
+        }
+        acc != 0
+    }
+
+    /// Number of true lanes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        let mut acc = 0u32;
+        for l in 0..LANES {
+            acc += self.0[l] & 1;
+        }
+        acc
+    }
+
+    /// Lane-wise AND.
+    #[inline]
+    pub fn and(self, rhs: Self) -> Self {
+        Mask8(std::array::from_fn(|l| self.0[l] & rhs.0[l]))
+    }
+
+    /// Lane-wise OR.
+    #[inline]
+    pub fn or(self, rhs: Self) -> Self {
+        Mask8(std::array::from_fn(|l| self.0[l] | rhs.0[l]))
+    }
+
+    /// Per lane: `if mask { a } else { b }`, as pure bit arithmetic
+    /// (no branch, no lane-dependent control flow).
+    #[inline]
+    pub fn select_u32(self, a: U32x8, b: U32x8) -> U32x8 {
+        U32x8(std::array::from_fn(|l| (a.0[l] & self.0[l]) | (b.0[l] & !self.0[l])))
+    }
+}
+
+impl std::ops::Not for Mask8 {
+    type Output = Mask8;
+
+    /// Lane-wise NOT.
+    #[inline]
+    fn not(self) -> Mask8 {
+        Mask8(std::array::from_fn(|l| !self.0[l]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_get_roundtrip() {
+        let v = U32x8::splat(7);
+        for l in 0..LANES {
+            assert_eq!(v.get(l), 7);
+        }
+        let f = F64x8::splat(1.5);
+        assert_eq!(f.to_array(), [1.5; LANES]);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = U32x8::from_fn(|l| l as u32);
+        let b = a.wrapping_add(U32x8::splat(u32::MAX));
+        for l in 0..LANES {
+            assert_eq!(b.get(l), (l as u32).wrapping_sub(1));
+        }
+    }
+
+    #[test]
+    fn eq_and_select() {
+        let a = U32x8::from_array([1, 2, 3, 4, 5, 6, 7, 8]);
+        let m = a.eq(U32x8::splat(3));
+        assert!(m.test(2));
+        assert!(!m.test(0));
+        assert_eq!(m.count(), 1);
+        let picked = m.select_u32(U32x8::splat(100), a);
+        assert_eq!(picked.to_array(), [1, 2, 100, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn le_matches_scalar_including_boundaries_and_nan() {
+        let x = F64x8::from_array([0.0, 1.0, 1.0, 2.0, -0.0, f64::NAN, 5.0, -1.0]);
+        let t = F64x8::splat(1.0);
+        let m = x.le(t);
+        let scalar: Vec<bool> = x.to_array().iter().map(|&v| v <= 1.0).collect();
+        for (l, &want) in scalar.iter().enumerate() {
+            assert_eq!(m.test(l), want, "lane {l}");
+        }
+        assert!(!m.test(5), "NaN <= t is false, same as the scalar branch");
+    }
+
+    #[test]
+    fn horizontal_ops() {
+        assert!(Mask8::splat(true).all());
+        assert!(!Mask8::splat(false).any());
+        assert_eq!(Mask8::splat(true).count(), LANES as u32);
+        let ones = U32x8::splat(1);
+        assert_eq!(ones.sum(), LANES as u32);
+        let m = U32x8::from_fn(|l| l as u32).eq(U32x8::splat(0));
+        assert!(m.any());
+        assert!(!m.all());
+        assert!((!m).test(1));
+        assert!(m.and(Mask8::splat(true)).test(0));
+        assert!(m.or(Mask8::splat(false)).test(0));
+    }
+}

@@ -1,0 +1,45 @@
+//! `bs-simd` — portable fixed-width lane types for the data-parallel
+//! fast paths.
+//!
+//! The classification stage (DESIGN.md §16) wants to step eight tree
+//! cursors or fold eight name bytes per operation, but the sanctioned
+//! dependency set has no SIMD crate, `std::simd` is nightly-only, and
+//! the house rules forbid `unsafe` (so no `core::arch` intrinsics
+//! either). This crate takes the remaining road: fixed-width lane
+//! types over plain `[T; LANES]` arrays whose per-lane loops are
+//! written in the shapes LLVM's autovectorizer reliably turns into
+//! vector instructions — no data-dependent branches inside a lane
+//! loop, masked selects as arithmetic, horizontal reductions kept out
+//! of the inner loops. On targets without usable vector units the same
+//! code compiles to straightforward scalar loops over eight
+//! independent dependency chains, which still buys memory-level
+//! parallelism on the gather-heavy tree-traversal path.
+//!
+//! * [`U32x8`] / [`F64x8`] — arithmetic/compare lanes with
+//!   [`Mask8`]-based branchless select;
+//! * [`Mask8`] — eight comparison results with `all`/`any`/`count`
+//!   horizontal ops;
+//! * [`bytes`] — 8-wide byte-block helpers for ASCII case folding and
+//!   packed-prefix keyword matching on DNS labels.
+//!
+//! # Determinism contract
+//!
+//! Nothing here reorders floating-point reductions: there is no
+//! horizontal float add, by design. Callers that need bit-identical
+//! results against a scalar reference (everything in this workspace)
+//! keep their float accumulation order and use lanes only for exact
+//! integer arithmetic, comparisons, and selects — all of which are
+//! bitwise-identical to their scalar counterparts lane by lane.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+mod lane;
+
+pub use lane::{F64x8, Mask8, U32x8};
+
+/// The fixed lane width every type in this crate uses. Eight is wide
+/// enough to fill a 512-bit vector of `f64` (or two 256-bit halves)
+/// and narrow enough that a ragged batch tail wastes little work.
+pub const LANES: usize = 8;

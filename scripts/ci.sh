@@ -32,6 +32,9 @@ cargo clippy -p bs-sensor --all-targets -- -D warnings
 echo "=== cargo clippy bs-prof (the sampling profiler, separately)"
 cargo clippy -p bs-prof --all-targets -- -D warnings
 
+echo "=== cargo clippy bs-simd (the portable-lane core, separately)"
+cargo clippy -p bs-simd --all-targets -- -D warnings
+
 echo "=== cargo build --release"
 cargo build --release
 
@@ -40,6 +43,9 @@ cargo test -q -p bs-trace
 
 echo "=== cargo test bs-fastmap (standalone, zero-dep)"
 cargo test -q -p bs-fastmap
+
+echo "=== cargo test bs-simd (standalone, zero-dep)"
+cargo test -q -p bs-simd
 
 echo "=== cargo test bs-mlcore (standalone, zero-dep)"
 cargo test -q -p bs-mlcore
@@ -55,6 +61,12 @@ BS_THREADS=1 cargo test -q -p bs-ml --test mlcore_equivalence
 
 echo "=== ML fast-path equivalence (parallel: BS_THREADS=8)"
 BS_THREADS=8 cargo test -q -p bs-ml --test mlcore_equivalence
+
+echo "=== simd lane equivalence (sequential: BS_THREADS=1)"
+BS_THREADS=1 cargo test -q --test simd_equivalence
+
+echo "=== simd lane equivalence (parallel: BS_THREADS=8)"
+BS_THREADS=8 cargo test -q --test simd_equivalence
 
 echo "=== shard equivalence (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q -p bs-sensor --test shard_equivalence
@@ -85,6 +97,13 @@ target/release/backscatter simulate --dataset JP-ditl --scale smoke \
 # and the writer would die on EPIPE.
 trace_out="$(target/release/backscatter trace --file "$trace_tmp/trace.json")"
 grep -q "cli.simulate" <<<"$trace_out"
+
+echo "=== CLI smoke: classify end-to-end through the lane-blocked predict path"
+# The full pipeline (curate → train → classify_all) serves every
+# prediction through Forest::predict_all's bs-simd lane descent.
+classify_out="$(target/release/backscatter classify --log "$trace_tmp/jp.tsv" \
+    --dataset JP-ditl --scale smoke --seed 5)"
+grep -q "originator" <<<"$classify_out"
 
 echo "=== CLI smoke: sharded stream --serve answers a live scrape"
 target/release/backscatter stream --log "$trace_tmp/jp.tsv" --window 600 \

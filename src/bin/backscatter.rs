@@ -501,6 +501,12 @@ metric naming: dotted crate.stage names, e.g.
                              (records/sec, fast path vs BTree reference)
   bench.ingest.scaling.*     sharded ingest rps at 1/2/4/8 lanes and
                              parallel efficiency (milli, 4 lanes)
+  bench.ml.*                 perf_snapshot ML gauges: forest/SVM fit rps
+                             (fast vs reference) and forest predict rps
+                             (lane-blocked vs row batch vs per-row)
+  bench.sensor.*             perf_snapshot static-feature classification
+                             rps (packed matcher vs byte-at-a-time
+                             reference)
   ml.trees_built, ml.fits    learner effort
   classify.models_trained    windows with a trainable label set
   core.curate/.retrain/.classify   per-stage latency histograms (ns)

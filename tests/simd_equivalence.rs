@@ -1,0 +1,194 @@
+//! Property-tested equivalence between the `bs-simd` lane fast paths
+//! and their retained scalar references (DESIGN.md §16).
+//!
+//! The claims are **bit-identity**, not approximate agreement:
+//!
+//! * lane-parallel blocked tree descent (`predict_all`) ≡ row-at-a-time
+//!   batch reference (`predict_all_rows`) ≡ boxed [`ReferenceTree`]
+//!   recursion, on arbitrary forests and rows — including rows placed
+//!   **exactly on split thresholds** (training values live on a 0.5
+//!   grid, so every CART threshold `(v + v_next)/2` lands on the 0.25
+//!   grid the probes are drawn from) and ragged batch tails
+//!   (`n % LANES != 0`);
+//! * the packed static-feature matcher ≡ the byte-at-a-time reference
+//!   on arbitrary querier names over the full DNS label charset;
+//! * the sorted-run entropy accumulator ≡ the `BTreeMap` histogram
+//!   reference, to the last bit of the float sum.
+//!
+//! The CI gate runs this suite under `BS_THREADS=1` and `BS_THREADS=8`
+//! (`scripts/ci.sh`): forest training parallelizes over the pool, so
+//! equality at both widths also pins thread-count invariance of the
+//! models the lane path serves.
+
+use bs_dns::DomainName;
+use bs_ml::dataset::{Dataset, Sample};
+use bs_ml::forest::{Forest, ForestParams};
+use bs_ml::tree::{CartParams, DecisionTree, ReferenceTree};
+use bs_sensor::dynamic::{normalized_entropy, normalized_entropy_reference};
+use bs_sensor::static_features::{
+    classify_name_with_order, classify_name_with_order_reference, MatchOrder,
+};
+use proptest::prelude::*;
+
+/// 2–4 classes, 1–5 features, 10–40 training samples on a coarse 0.5
+/// grid (so split thresholds land on the 0.25 grid and duplicate
+/// values are common), paired with 0–19 probe rows on the **0.25**
+/// grid: every CART threshold is the midpoint of two adjacent
+/// 0.5-grid values, so probes land exactly on split boundaries (the
+/// adversarial `x == threshold` case, which must go left in every
+/// implementation). Probe count runs through ragged lane tails.
+fn arb_dataset_and_probes() -> impl Strategy<Value = (Dataset, Vec<Vec<f64>>)> {
+    (2usize..=4, 1usize..=5).prop_flat_map(|(n_classes, n_features)| {
+        (
+            proptest::collection::vec(
+                (proptest::collection::vec(-8i64..8, n_features), 0usize..n_classes),
+                10..40,
+            ),
+            proptest::collection::vec(proptest::collection::vec(-16i64..16, n_features), 0..20),
+        )
+            .prop_map(move |(rows, probe_grid)| {
+                let mut d = Dataset::new(
+                    (0..n_features).map(|i| format!("f{i}")).collect(),
+                    (0..n_classes).map(|i| format!("c{i}")).collect(),
+                );
+                for (grid, label) in rows {
+                    d.push(Sample {
+                        features: grid.into_iter().map(|g| g as f64 * 0.5).collect(),
+                        label,
+                    });
+                }
+                let probes = probe_grid
+                    .into_iter()
+                    .map(|row| row.into_iter().map(|g| g as f64 * 0.25).collect())
+                    .collect();
+                (d, probes)
+            })
+    })
+}
+
+/// Keyword fragments spliced into random names so rule hits, boundary
+/// cases and near-misses all occur in `static_matcher_equals_reference`.
+const SPLICES: [&str; 14] = [
+    "",
+    "mail",
+    "MAIL",
+    "mailing",
+    "ns",
+    "pop3",
+    "newsletter",
+    "newsletter7",
+    "chinacache",
+    "amazonaws",
+    "google",
+    "customer-1",
+    "fw",
+    "wallet",
+];
+
+/// Alphabet sizes for the entropy property: the degenerate/edge values
+/// the reference special-cases, plus an arbitrary positive draw.
+const ALPHABETS: [f64; 4] = [0.5, 1.0, 2.0, 256.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lane predict ≡ row-batch reference ≡ boxed reference recursion,
+    /// for a single CART tree on boundary-adversarial probes.
+    #[test]
+    fn tree_lane_predict_equals_scalar_and_boxed(
+        (data, probes) in arb_dataset_and_probes(),
+        seed in 0u64..50,
+    ) {
+        let params = CartParams { min_samples_split: 2, ..CartParams::default() };
+        let fast = DecisionTree::fit(&data, &params, seed);
+        let boxed = ReferenceTree::fit(&data, &params, seed);
+        let lanes = fast.predict_all(&probes);
+        prop_assert_eq!(&lanes, &fast.predict_all_rows(&probes), "lane ≡ row batch");
+        for (x, &got) in probes.iter().zip(&lanes) {
+            prop_assert_eq!(got, fast.predict(x), "lane ≡ scalar predict");
+            prop_assert_eq!(got, boxed.predict(x), "lane ≡ boxed reference");
+        }
+    }
+
+    /// Forest lane voting ≡ row-batch reference ≡ per-row prediction,
+    /// with the training rows themselves and boundary probes mixed into
+    /// one ragged batch.
+    #[test]
+    fn forest_lane_predict_equals_scalar(
+        (data, probes) in arb_dataset_and_probes(),
+        seed in 0u64..50,
+    ) {
+        let params = ForestParams { n_trees: 5, ..ForestParams::default() };
+        let forest = Forest::fit(&data, &params, seed);
+        let mut batch: Vec<Vec<f64>> = data.samples.iter().map(|s| s.features.clone()).collect();
+        batch.extend(probes);
+        let lanes = forest.predict_all(&batch);
+        prop_assert_eq!(&lanes, &forest.predict_all_rows(&batch), "lane ≡ row batch");
+        for (x, &got) in batch.iter().zip(&lanes) {
+            prop_assert_eq!(got, forest.predict(x), "lane ≡ per-row predict");
+        }
+    }
+
+    /// The packed keyword matcher classifies every parseable name
+    /// identically to the byte-at-a-time reference, under both scan
+    /// orders. Labels draw from the full DNS charset (mixed case,
+    /// digits, `-`, `_`) with keyword fragments spliced in so rule
+    /// hits, boundary cases and near-misses all occur.
+    #[test]
+    fn static_matcher_equals_reference(
+        raw_labels in proptest::collection::vec("[A-Za-z0-9_-]{1,16}", 1..5),
+        splice_idx in 0usize..SPLICES.len(),
+        splice_at in 0usize..5,
+    ) {
+        let splice = SPLICES[splice_idx];
+        let mut labels = raw_labels;
+        if !splice.is_empty() {
+            labels.insert(splice_at.min(labels.len()), splice.to_string());
+        }
+        let name = labels.join(".");
+        if let Ok(name) = DomainName::parse(&name) {
+            for order in [MatchOrder::LeftmostFirst, MatchOrder::RightmostFirst] {
+                prop_assert_eq!(
+                    classify_name_with_order(&name, order),
+                    classify_name_with_order_reference(&name, order),
+                    "name {:?} under {:?}", name, order
+                );
+            }
+        }
+    }
+
+    /// The sorted-run entropy fast path returns the same bits as the
+    /// `BTreeMap` histogram reference for every histogram shape and
+    /// alphabet, including the degenerate single-run case where the
+    /// sum is `-0.0`.
+    #[test]
+    fn entropy_equals_reference_bitwise(
+        values in proptest::collection::vec(0u32..64, 0..200),
+        alphabet in (0usize..=ALPHABETS.len(), 1.0f64..1e6)
+            .prop_map(|(i, free)| ALPHABETS.get(i).copied().unwrap_or(free)),
+    ) {
+        prop_assert_eq!(
+            normalized_entropy(&values, alphabet).to_bits(),
+            normalized_entropy_reference(&values, alphabet).to_bits(),
+            "values {:?} alphabet {}", values, alphabet
+        );
+    }
+}
+
+/// Deterministic (non-proptest) pin of the ragged-tail contract at
+/// every small batch size: padding lanes must never leak into real
+/// rows whatever `n % LANES` is.
+#[test]
+fn forest_lane_predict_ragged_tails_pinned() {
+    let mut d =
+        Dataset::new(vec!["x".into(), "y".into()], vec!["a".into(), "b".into(), "c".into()]);
+    for i in 0..30 {
+        d.push(Sample { features: vec![(i % 5) as f64 * 0.5, (i % 3) as f64 - 1.0], label: i % 3 });
+    }
+    let forest = Forest::fit(&d, &ForestParams { n_trees: 7, ..ForestParams::default() }, 3);
+    let all: Vec<Vec<f64>> = d.samples.iter().map(|s| s.features.clone()).collect();
+    for n in 0..=all.len() {
+        let batch = &all[..n];
+        assert_eq!(forest.predict_all(batch), forest.predict_all_rows(batch), "batch size {n}");
+    }
+}
