@@ -1,0 +1,75 @@
+//! Criterion benches for feature extraction: the qmeta metadata-plane
+//! fast path against the retained per-pair reference, on the two
+//! workload shapes that bracket the querier-overlap spectrum.
+//!
+//! * **high-overlap** — many originators drawing footprints from a
+//!   small shared querier pool (the paper's regime: shared resolver
+//!   infrastructure). Σ footprints ≫ unique queriers, so the
+//!   resolve-once table pays maximally.
+//! * **disjoint** — every originator brings its own queriers, so
+//!   Σ footprints ≈ unique queriers and the fast path's win collapses
+//!   to bookkeeping differences — the honest worst case.
+//!
+//! A third group times the warm-cache path: the same window re-entered
+//! with a populated `QuerierMetaCache`, the steady state of the live
+//! streaming driver. Under the offline criterion stub each bench body
+//! runs exactly once, so `cargo bench -p bench --bench extract`
+//! doubles as a smoke test.
+
+use backscatter_core::sensor::ingest::Observations;
+use backscatter_core::sensor::qmeta::QuerierMetaCache;
+use backscatter_core::sensor::{
+    extract_from_observations, extract_from_observations_reference, extract_with_meta_cache,
+    FeatureConfig,
+};
+use bench::perfsnap::{overlap_observations, SynthQuerierInfo};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// High-overlap: 600 originators × 60-querier footprints from a pool
+/// of 1 500.
+fn high_overlap() -> Observations {
+    overlap_observations(600, 60, 1_500)
+}
+
+/// Disjoint: the same pair volume, but a pool as large as the demand —
+/// footprints barely intersect.
+fn disjoint() -> Observations {
+    overlap_observations(600, 60, 600 * 60)
+}
+
+fn pairs(obs: &Observations) -> u64 {
+    obs.per_originator.values().map(|o| o.querier_count() as u64).sum()
+}
+
+fn extract_cold(c: &mut Criterion) {
+    let config = FeatureConfig { min_queriers: 1, top_n: None };
+    for (shape, obs) in [("high_overlap", high_overlap()), ("disjoint", disjoint())] {
+        let mut g = c.benchmark_group(format!("extract_{shape}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(pairs(&obs)));
+        g.bench_function("fast", |b| {
+            b.iter(|| extract_from_observations(&obs, &SynthQuerierInfo, &config).len())
+        });
+        g.bench_function("reference", |b| {
+            b.iter(|| extract_from_observations_reference(&obs, &SynthQuerierInfo, &config).len())
+        });
+        g.finish();
+    }
+}
+
+fn extract_warm_cache(c: &mut Criterion) {
+    let config = FeatureConfig { min_queriers: 1, top_n: None };
+    let obs = high_overlap();
+    let mut g = c.benchmark_group("extract_high_overlap_warm_cache");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pairs(&obs)));
+    let mut cache = QuerierMetaCache::default();
+    extract_with_meta_cache(&obs, &SynthQuerierInfo, &config, Some(&mut cache));
+    g.bench_function("warm", |b| {
+        b.iter(|| extract_with_meta_cache(&obs, &SynthQuerierInfo, &config, Some(&mut cache)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, extract_cold, extract_warm_cache);
+criterion_main!(benches);

@@ -384,6 +384,113 @@ fn static_features_throughput() -> [(&'static str, i64); 2] {
     ]
 }
 
+/// Deterministic querier metadata for the extraction benchmarks:
+/// reverse names synthesized (and re-parsed) per call across every
+/// `NameOutcome` variant and several keyword categories, AS and
+/// country derived from address bits with `None` gaps. The per-call
+/// allocation is the point — resolution is the expensive step the
+/// qmeta plane memoizes, so the provider must cost something.
+pub struct SynthQuerierInfo;
+
+impl backscatter_core::sensor::QuerierInfo for SynthQuerierInfo {
+    fn querier_name(&self, a: Ipv4Addr) -> backscatter_core::netsim::types::NameOutcome {
+        use backscatter_core::dns::DomainName;
+        use backscatter_core::netsim::types::NameOutcome;
+        let x = u32::from(a);
+        let name = |s: String| NameOutcome::Name(DomainName::parse(&s).expect("valid name"));
+        match x % 7 {
+            0 => NameOutcome::NxDomain,
+            1 => NameOutcome::Unreachable,
+            2 => name(format!("mail{}.example.com", x % 50)),
+            3 => name(format!("ns{}.isp.net", x % 20)),
+            4 => name(format!("host-{}-{}.bigisp.net", (x >> 8) & 0xff, x & 0xff)),
+            5 => name(format!("a{}.deploy.akamai.sim", x % 97)),
+            _ => name(format!("zx{}.example.org", x % 1000)),
+        }
+    }
+    fn querier_as(&self, a: Ipv4Addr) -> Option<backscatter_core::netsim::types::AsId> {
+        let x = u32::from(a);
+        (x % 11 != 0).then_some(backscatter_core::netsim::types::AsId((x >> 6) % 300))
+    }
+    fn querier_country(&self, a: Ipv4Addr) -> Option<backscatter_core::netsim::types::CountryCode> {
+        let x = u32::from(a);
+        (x % 13 != 0).then(|| {
+            backscatter_core::netsim::types::CountryCode([
+                b'a' + ((x >> 3) % 26) as u8,
+                b'a' + ((x >> 9) % 26) as u8,
+            ])
+        })
+    }
+}
+
+/// A high-overlap extraction workload: `originators` footprints drawn
+/// from a shared pool of `pool` queriers — the regime the paper
+/// describes (shared resolver infrastructure) and the one the qmeta
+/// plane targets. Returns the ingested window.
+pub fn overlap_observations(originators: u32, footprint: usize, pool: u32) -> Observations {
+    let mut state: u64 = 0xE17A_00C7;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let mut log = QueryLog::new();
+    let mut t = 0u64;
+    for o in 0..originators {
+        for _ in 0..footprint {
+            let q = next() as u32 % pool;
+            t += 1;
+            log.push(QueryLogRecord {
+                time: SimTime(t % 50_000),
+                querier: Ipv4Addr::from(0x0A00_0000 | q),
+                originator: Ipv4Addr::from(0xC000_0000 | o),
+                rcode: Rcode::NoError,
+            });
+        }
+    }
+    Observations::ingest(&log, SimTime::ZERO, SimTime(50_001))
+}
+
+/// Feature-extraction throughput, qmeta-table fast path vs the
+/// retained per-pair reference, plus the warm-cache path (second
+/// window over the same querier population). Denominated in
+/// (originator, querier) **pairs** — the Σ-footprints unit the
+/// reference's work scales with — so the fast/reference ratio reads
+/// directly as the O(Σ footprints) → O(unique queriers) win. Asserts
+/// both fast paths' output equals the reference's before recording
+/// anything. Runs single-threaded (the caller pins the pool) so the
+/// ratio isolates the algorithmic speedup.
+fn extract_throughput() -> [(&'static str, i64); 4] {
+    use backscatter_core::sensor::qmeta::QuerierMetaCache;
+    use backscatter_core::sensor::{
+        extract_from_observations, extract_from_observations_reference, extract_with_meta_cache,
+    };
+
+    let obs = overlap_observations(1_500, 80, 3_000);
+    let config = FeatureConfig { min_queriers: 1, top_n: None };
+    let pairs: usize = obs.per_originator.values().map(|o| o.querier_count()).sum();
+
+    let (fast_rps, fast) =
+        rps(pairs, || extract_from_observations(&obs, &SynthQuerierInfo, &config));
+    let (reference_rps, reference) =
+        rps(pairs, || extract_from_observations_reference(&obs, &SynthQuerierInfo, &config));
+    assert_eq!(fast, reference, "fast extraction must equal the per-pair reference");
+
+    let mut cache = QuerierMetaCache::default();
+    let cold = extract_with_meta_cache(&obs, &SynthQuerierInfo, &config, Some(&mut cache));
+    assert_eq!(cold, reference, "cold-cache extraction must equal the reference");
+    let (warm_rps, warm) =
+        rps(pairs, || extract_with_meta_cache(&obs, &SynthQuerierInfo, &config, Some(&mut cache)));
+    assert_eq!(warm, reference, "warm-cache extraction must be cache-invariant");
+    assert!(cache.hits() > 0, "the warm run must have hit the cache");
+
+    [
+        ("bench.sensor.extract_pairs", pairs as i64),
+        ("bench.sensor.extract_fast_rps", fast_rps),
+        ("bench.sensor.extract_reference_rps", reference_rps),
+        ("bench.sensor.extract_warm_cache_rps", warm_rps),
+    ]
+}
+
 /// Run the full measurement suite and publish every number as a
 /// `bench.*` gauge in the (enabled, freshly reset) global registry.
 /// Panics if any fast path diverges from its reference or any run
@@ -410,6 +517,13 @@ pub fn measure_all() -> MeasureSummary {
     // Static-feature matcher throughput (single-threaded by nature:
     // one tight loop over the name corpus).
     let static_gauges = static_features_throughput();
+
+    // Extraction throughput, also pinned to one thread: both paths
+    // parallelize over originators identically, so the single-thread
+    // ratio is the pure O(Σ footprints) → O(unique) algorithmic win.
+    backscatter_core::par::set_threads(1);
+    let extract_gauges = extract_throughput();
+    backscatter_core::par::set_threads(0);
 
     // Sharded-ingest scaling curve, still with telemetry off; sizes
     // the pool per lane count and restores the default width after.
@@ -486,6 +600,12 @@ pub fn measure_all() -> MeasureSummary {
     // Static-feature matcher: names/second, packed `bs-simd` matcher
     // vs the byte-at-a-time reference, equivalence-asserted.
     for (name, value) in static_gauges {
+        backscatter_core::telemetry::gauge_set(name, value);
+    }
+    // Feature extraction: (originator, querier) pairs/second, qmeta
+    // metadata plane (cold and warm cache) vs the per-pair reference,
+    // equivalence-asserted.
+    for (name, value) in extract_gauges {
         backscatter_core::telemetry::gauge_set(name, value);
     }
     // Sharded-ingest scaling: streaming rps at 1/2/4/8 lanes plus the

@@ -78,5 +78,8 @@ pub mod prelude {
     pub use bs_netsim::hierarchy::{AuthorityId, RootServer};
     pub use bs_netsim::world::{World, WorldConfig};
     pub use bs_netsim::{Simulator, SimulatorConfig};
-    pub use bs_sensor::{extract_features, FeatureConfig, OriginatorFeatures};
+    pub use bs_sensor::{
+        extract_features, extract_with_meta_cache, FeatureConfig, OriginatorFeatures,
+        QuerierMetaCache,
+    };
 }

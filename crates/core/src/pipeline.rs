@@ -83,7 +83,11 @@ impl DatasetPipeline {
         // classifies its own originators. They run in parallel on the
         // bs-par pool; with a single window the parallelism moves down
         // into training and extraction instead (nested regions run
-        // sequentially inside pool workers).
+        // sequentially inside pool workers). Extraction goes through
+        // the qmeta metadata plane — each window builds its own
+        // per-window table (windows run concurrently, so no shared
+        // cross-window cache here; the streaming driver is the
+        // cache's home).
         let out: Vec<WindowClassification> = bs_par::par_map(&windows, |w, window| {
             let _wscope = bs_trace::ledger::window_scope(w as u64);
             let _cost = bs_prof::stage("core.window", w as u64);

@@ -21,7 +21,11 @@
 //! guarantees it, and the proptests in `bs-sensor` pin it down.
 
 use bs_netsim::log::QueryLogRecord;
-use bs_sensor::{ShardedStreamingSensor, StreamConfig, StreamingSensor, WindowSummary};
+use bs_sensor::qmeta::QuerierMetaCache;
+use bs_sensor::{
+    extract_with_meta_cache, FeatureConfig, OriginatorFeatures, QuerierInfo,
+    ShardedStreamingSensor, StreamConfig, StreamingSensor, WindowSummary,
+};
 use std::time::{Duration, Instant};
 
 /// What one [`run_live_stream`] call did.
@@ -144,6 +148,40 @@ where
     stats
 }
 
+/// [`run_live_stream`] plus per-window feature extraction through the
+/// querier metadata plane: every completed window runs
+/// [`extract_with_meta_cache`] against `info`, with one
+/// [`QuerierMetaCache`] persisting across windows so queriers that
+/// recur between windows skip re-resolution (the ROADMAP item-3
+/// online-serving posture: resolve metadata once, serve features per
+/// window). The caller owns the cache, so successive calls — or a
+/// restart-with-state — keep their warmth; `on_window` receives each
+/// window summary together with its extracted features.
+///
+/// Extraction output is cache-invariant and bit-identical to the
+/// batch fast path (and therefore to the retained per-pair
+/// reference); the proptests in `bs-sensor` pin this down.
+#[allow(clippy::too_many_arguments)]
+pub fn run_live_stream_extracting<F>(
+    records: &[QueryLogRecord],
+    config: StreamConfig,
+    shards: usize,
+    live: Option<&bs_live::LiveHandle>,
+    pace_rps: u64,
+    info: &(impl QuerierInfo + Sync),
+    feature_config: &FeatureConfig,
+    cache: &mut QuerierMetaCache,
+    mut on_window: F,
+) -> StreamRunStats
+where
+    F: FnMut(&WindowSummary, &[OriginatorFeatures]),
+{
+    run_live_stream(records, config, shards, live, pace_rps, |w| {
+        let features = extract_with_meta_cache(&w.observations, info, feature_config, Some(cache));
+        on_window(w, &features);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +253,60 @@ mod tests {
             let stats = run_live_stream(&records, cfg, shards, None, 0, |w| driven.push(w.clone()));
             assert_eq!(stats.records, records.len() as u64);
             assert_eq!(driven, expect, "shards={shards}: output must be shard-count invariant");
+        }
+    }
+
+    #[test]
+    fn extracting_driver_matches_reference_extraction_per_window() {
+        use bs_netsim::types::{AsId, CountryCode, NameOutcome};
+
+        struct ToyInfo;
+        impl QuerierInfo for ToyInfo {
+            fn querier_name(&self, addr: std::net::Ipv4Addr) -> NameOutcome {
+                if addr.octets()[3].is_multiple_of(2) {
+                    NameOutcome::Name(bs_dns::DomainName::parse("mail.example.com").unwrap())
+                } else {
+                    NameOutcome::NxDomain
+                }
+            }
+            fn querier_as(&self, addr: std::net::Ipv4Addr) -> Option<AsId> {
+                Some(AsId(addr.octets()[3] as u32 % 3))
+            }
+            fn querier_country(&self, _addr: std::net::Ipv4Addr) -> Option<CountryCode> {
+                Some(CountryCode::new("jp").unwrap())
+            }
+        }
+
+        let records = sample_records();
+        let cfg = StreamConfig { window: SimDuration::from_secs(100), ..Default::default() };
+        let fc = FeatureConfig { min_queriers: 1, top_n: None };
+
+        let mut cache = QuerierMetaCache::default();
+        let mut windows = Vec::new();
+        let stats = run_live_stream_extracting(
+            &records,
+            cfg,
+            1,
+            None,
+            0,
+            &ToyInfo,
+            &fc,
+            &mut cache,
+            |w, f| {
+                windows.push((w.clone(), f.to_vec()));
+            },
+        );
+        assert_eq!(stats.windows, windows.len());
+        assert!(!windows.is_empty());
+        assert!(
+            cache.hits() > 0,
+            "queriers recur across the sample windows: the cache must serve hits"
+        );
+
+        for (w, features) in &windows {
+            let expect =
+                bs_sensor::extract_from_observations_reference(&w.observations, &ToyInfo, &fc);
+            assert_eq!(features, &expect, "warm-cache extraction must equal the reference");
         }
     }
 

@@ -1,0 +1,116 @@
+//! [`DenseIdSet`] — a flat bitmap set over *dense* interned ids.
+//!
+//! The querier metadata plane (`bs-sensor::qmeta`) interns AS numbers
+//! and country codes into contiguous id spaces `0..n` per window. The
+//! per-originator "how many distinct ASes did this footprint touch"
+//! unions then never need a comparison-ordered set: a bitmap sized to
+//! the interned space plus a live counter answers membership and
+//! cardinality in O(1) per insert, with the whole set usually fitting
+//! in a cache line or two.
+
+/// A set of dense `u32` ids backed by a flat `u64` bitmap and a
+/// maintained cardinality counter.
+///
+/// Sized up front with [`DenseIdSet::with_capacity`] for the id space
+/// in play; inserting an id past the capacity grows the bitmap (so a
+/// conservative capacity is a performance hint, not a correctness
+/// bound).
+#[derive(Debug, Clone, Default)]
+pub struct DenseIdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseIdSet {
+    /// An empty set expecting ids in `0..n_ids`.
+    pub fn with_capacity(n_ids: usize) -> Self {
+        DenseIdSet { words: vec![0; n_ids.div_ceil(64)], len: 0 }
+    }
+
+    /// Insert `id`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let word = (id / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (id % 64);
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Is `id` in the set?
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.words.get((id / 64) as usize).is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Number of distinct ids inserted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every id, keeping the allocated bitmap for reuse.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_counts_distinct_ids_once() {
+        let mut s = DenseIdSet::with_capacity(100);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(3), "re-insert must report already-present");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    fn grows_past_declared_capacity() {
+        let mut s = DenseIdSet::with_capacity(1);
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut s = DenseIdSet::with_capacity(256);
+        for id in 0..256 {
+            s.insert(id);
+        }
+        assert_eq!(s.len(), 256);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(17));
+        assert!(s.insert(17));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_usable() {
+        let mut s = DenseIdSet::with_capacity(0);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -24,7 +24,11 @@
 //!   the high 16 bits: small chunks are sorted `Vec<u16>` arrays,
 //!   chunks past 4096 entries promote to 8 KiB bitmaps (the classic
 //!   roaring layout), and iteration yields ascending order so
-//!   flush-time conversion to `BTreeSet` is a linear append.
+//!   flush-time conversion to `BTreeSet` is a linear append;
+//! * [`DenseIdSet`] — a flat bitmap + counter over *dense interned*
+//!   ids (AS/country ids from the `bs-sensor` querier metadata plane),
+//!   where the id space is contiguous from zero and a roaring layout
+//!   would be pure overhead.
 //!
 //! # What this crate is not
 //!
@@ -37,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
 mod map;
 mod set;
 
+pub use dense::DenseIdSet;
 pub use map::FastMap;
 pub use set::CompactSet;
 

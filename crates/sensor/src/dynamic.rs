@@ -76,10 +76,15 @@ impl DynamicFeatures {
         ]
     }
 
-    /// Compute the features for one originator.
+    /// Compute the features for one originator by consulting `info`
+    /// per querier — the reference path.
     ///
     /// `total_ases` / `total_countries` are window-global totals (see
-    /// [`crate::Observations::total_ases`]).
+    /// [`crate::Observations::total_ases`]). The fast extraction path
+    /// obtains the same AS/country cardinalities from the interned
+    /// [`crate::qmeta::QuerierMetaTable`] and funnels them through
+    /// [`DynamicFeatures::from_counts`], the shared arithmetic both
+    /// paths use — which is what makes them bit-identical.
     pub fn compute(
         obs: &OriginatorObservation,
         info: &(impl QuerierInfo + Sync),
@@ -88,12 +93,54 @@ impl DynamicFeatures {
         total_ases: usize,
         total_countries: usize,
     ) -> Self {
+        if obs.querier_count() == 0 {
+            return DynamicFeatures::default();
+        }
+        // The per-querier AS/country lookups are the expensive part for
+        // large footprints (they consult external metadata). Chunked
+        // parallel lookup is deterministic because the chunk results
+        // merge into sets — order cannot matter.
+        let queriers: Vec<std::net::Ipv4Addr> = obs.queriers.iter().copied().collect();
+        let ases = unique_by(&queriers, |q| info.querier_as(q));
+        let countries = unique_by(&queriers, |q| info.querier_country(q));
+        Self::from_counts(
+            obs,
+            window_start,
+            window_end,
+            ases.len(),
+            countries.len(),
+            total_ases,
+            total_countries,
+        )
+    }
+
+    /// Compute the features for one originator given already-counted
+    /// distinct-AS/country cardinalities for its footprint.
+    ///
+    /// This is the arithmetic core shared by [`DynamicFeatures::compute`]
+    /// (which counts via per-querier `info` lookups) and the
+    /// qmeta-table fast path (which counts via dense-id bitmaps); all
+    /// float operations live here exactly once, so the two paths
+    /// cannot drift.
+    pub fn from_counts(
+        obs: &OriginatorObservation,
+        window_start: SimTime,
+        window_end: SimTime,
+        footprint_ases: usize,
+        footprint_countries: usize,
+        total_ases: usize,
+        total_countries: usize,
+    ) -> Self {
         let nq = obs.querier_count();
         if nq == 0 {
             return DynamicFeatures::default();
         }
 
-        // Temporal.
+        // Temporal. Both subtractions saturate: the streaming sensor
+        // assigns a record to the window that was open when it
+        // *arrived*, so a late-but-admitted query can carry a
+        // timestamp just before `window_start` — that must clamp to
+        // period 0, not underflow.
         let queries_per_querier = obs.query_count() as f64 / nq as f64;
         let total_periods = ((window_end.secs().saturating_sub(window_start.secs()))
             .div_ceil(PERSISTENCE_PERIOD))
@@ -101,7 +148,7 @@ impl DynamicFeatures {
         let active_periods: BTreeSet<u64> = obs
             .queries
             .iter()
-            .map(|(t, _)| (t.secs() - window_start.secs()) / PERSISTENCE_PERIOD)
+            .map(|(t, _)| t.secs().saturating_sub(window_start.secs()) / PERSISTENCE_PERIOD)
             .collect();
         let persistence = active_periods.len() as f64 / total_periods as f64;
 
@@ -112,12 +159,6 @@ impl DynamicFeatures {
         let local_entropy = normalized_entropy(&slash24s, nq as f64);
         let global_entropy = normalized_entropy(&slash8s, 256.0);
 
-        // The per-querier AS/country lookups are the expensive part for
-        // large footprints (they consult external metadata). Chunked
-        // parallel lookup is deterministic because the chunk results
-        // merge into sets — order cannot matter.
-        let ases = unique_by(&queriers, |q| info.querier_as(q));
-        let countries = unique_by(&queriers, |q| info.querier_country(q));
         let ratio = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
 
         DynamicFeatures {
@@ -125,10 +166,10 @@ impl DynamicFeatures {
             persistence,
             local_entropy,
             global_entropy,
-            as_ratio: ratio(ases.len(), total_ases),
-            country_ratio: ratio(countries.len(), total_countries),
-            countries_per_querier: countries.len() as f64 / nq as f64,
-            ases_per_querier: ases.len() as f64 / nq as f64,
+            as_ratio: ratio(footprint_ases, total_ases),
+            country_ratio: ratio(footprint_countries, total_countries),
+            countries_per_querier: footprint_countries as f64 / nq as f64,
+            ases_per_querier: footprint_ases as f64 / nq as f64,
         }
     }
 }
@@ -296,6 +337,17 @@ mod tests {
         assert!((f.country_ratio - 1.0).abs() < 1e-12);
         assert!((f.countries_per_querier - 2.0 / 3.0).abs() < 1e-12);
         assert!((f.ases_per_querier - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_window_timestamp_clamps_instead_of_underflowing() {
+        // A late-but-admitted query can carry a timestamp before the
+        // open window's start; in debug builds the old code panicked
+        // on `t - window_start` underflow. It must clamp to period 0.
+        let o = obs(&[(50, "10.0.0.1"), (700, "10.0.0.2")]);
+        let f = DynamicFeatures::compute(&o, &ToyInfo, SimTime(100), SimTime(3700), 10, 5);
+        // Periods: clamp(50-100)=0 and (700-100)/600=1 → 2 of 6.
+        assert!((f.persistence - 2.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]

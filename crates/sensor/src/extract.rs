@@ -1,10 +1,12 @@
 //! End-to-end feature extraction: logs in, feature vectors out.
 
 use crate::dynamic::DynamicFeatures;
-use crate::ingest::{select_analyzable, Observations};
+use crate::ingest::{select_analyzable, Observations, OriginatorObservation};
+use crate::qmeta::{QuerierMetaCache, QuerierMetaTable, NO_ID};
 use crate::static_features::{classify_querier_name, StaticFeature};
 use crate::QuerierInfo;
 use bs_dns::SimTime;
+use bs_fastmap::DenseIdSet;
 use bs_netsim::log::QueryLog;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -86,6 +88,14 @@ pub fn extract_features(
 
 /// Extraction step reusable when the caller already ingested the log.
 ///
+/// This is the **fast path**: a [`QuerierMetaTable`] resolution pass
+/// visits each unique querier exactly once, then every originator
+/// reduces to table lookups plus dense-id bitmap counting —
+/// O(unique queriers) metadata work instead of the reference's
+/// O(Σ footprints). Bit-identical to
+/// [`extract_from_observations_reference`] (proptest-pinned in
+/// `tests/qmeta_equivalence.rs` at both thread counts).
+///
 /// Originators are independent, so their feature vectors compute in
 /// parallel on the [`bs_par`] pool; the output keeps the footprint
 /// ranking of [`select_analyzable`] because results collect in task
@@ -95,41 +105,128 @@ pub fn extract_from_observations(
     info: &(impl QuerierInfo + Sync),
     config: &FeatureConfig,
 ) -> Vec<OriginatorFeatures> {
+    extract_with_meta_cache(obs, info, config, None)
+}
+
+/// [`extract_from_observations`] with an optional cross-window
+/// [`QuerierMetaCache`]: the streaming path passes the same cache
+/// every window, so queriers that persist between windows skip the
+/// metadata provider entirely. `None` resolves everything cold.
+/// Output is cache-invariant (the cache memoizes resolutions, and
+/// interning happens per window either way).
+pub fn extract_with_meta_cache(
+    obs: &Observations,
+    info: &(impl QuerierInfo + Sync),
+    config: &FeatureConfig,
+    cache: Option<&mut QuerierMetaCache>,
+) -> Vec<OriginatorFeatures> {
     let _span = bs_telemetry::span("sensor.extract");
-    let _cost = bs_prof::stage("sensor.select", bs_trace::ledger::current_window());
+    let table = {
+        let _cost = bs_prof::stage("sensor.extract.lookup", bs_trace::ledger::current_window());
+        QuerierMetaTable::build(obs, info, cache)
+    };
+    let selected = {
+        let _cost = bs_prof::stage("sensor.select", bs_trace::ledger::current_window());
+        let selected = select_analyzable(obs, config.min_queriers, config.top_n);
+        if bs_trace::is_active() {
+            // Conservation over the analyzability cut: every observed
+            // originator is selected, below threshold, or ranked out.
+            let total = obs.per_originator.len() as u64;
+            let passing = obs
+                .per_originator
+                .values()
+                .filter(|o| o.querier_count() >= config.min_queriers)
+                .count() as u64;
+            let kept = selected.len() as u64;
+            bs_trace::ledger::record(
+                "sensor.select",
+                total,
+                &[
+                    ("selected", kept),
+                    ("below_threshold", total - passing),
+                    ("truncated", passing - kept),
+                ],
+            );
+        }
+        selected
+    };
+    let out: Vec<OriginatorFeatures> = bs_par::par_chunks(&selected, EXTRACT_CHUNK, |_, chunk| {
+        // One profiler ledger slot per chunk of originators, not one
+        // per originator per window.
+        let _cost = bs_prof::stage("sensor.extract.features", bs_trace::ledger::current_window());
+        chunk.iter().map(|&o| features_from_table(o, &table, obs)).collect::<Vec<_>>()
+    })
+    .concat();
+    bs_telemetry::counter_add("sensor.features_extracted", out.len() as u64);
+    out
+}
+
+/// Originators per parallel feature task on the fast path.
+const EXTRACT_CHUNK: usize = 64;
+
+/// One originator's features from the interned metadata table: count
+/// static categories and distinct AS/country ids over the footprint
+/// (bitmap sets over dense ids), then share the float arithmetic with
+/// the reference via [`DynamicFeatures::from_counts`].
+fn features_from_table(
+    o: &OriginatorObservation,
+    table: &QuerierMetaTable,
+    obs: &Observations,
+) -> OriginatorFeatures {
+    let mut static_counts = [0usize; 14];
+    let mut ases = DenseIdSet::with_capacity(table.distinct_ases());
+    let mut countries = DenseIdSet::with_capacity(table.distinct_countries());
+    for q in &o.queriers {
+        let m = table.get(*q).expect("footprints are subsets of the window's querier set");
+        static_counts[m.category as usize] += 1;
+        if m.as_id != NO_ID {
+            ases.insert(m.as_id);
+        }
+        if m.country_id != NO_ID {
+            countries.insert(m.country_id);
+        }
+    }
+    let nq = o.querier_count().max(1) as f64;
+    let mut static_fractions = [0.0; 14];
+    for (frac, count) in static_fractions.iter_mut().zip(static_counts) {
+        *frac = count as f64 / nq;
+    }
+    let dynamic = DynamicFeatures::from_counts(
+        o,
+        obs.window_start,
+        obs.window_end,
+        ases.len(),
+        countries.len(),
+        table.distinct_ases(),
+        table.distinct_countries(),
+    );
+    OriginatorFeatures {
+        originator: o.originator,
+        querier_count: o.querier_count(),
+        query_count: o.query_count(),
+        features: FeatureVector { static_fractions, dynamic },
+    }
+}
+
+/// The retained per-pair reference: re-resolves querier metadata for
+/// every (originator, querier) pair, exactly as the seed did — the
+/// executable specification [`extract_from_observations`] is
+/// property-tested bit-identical to. Telemetry-free, like the other
+/// retained references.
+pub fn extract_from_observations_reference(
+    obs: &Observations,
+    info: &(impl QuerierInfo + Sync),
+    config: &FeatureConfig,
+) -> Vec<OriginatorFeatures> {
     let total_ases = obs.total_ases(info);
     let total_countries = obs.total_countries(info);
     let selected = select_analyzable(obs, config.min_queriers, config.top_n);
-    if bs_trace::is_active() {
-        // Conservation over the analyzability cut: every observed
-        // originator is selected, below threshold, or ranked out.
-        let total = obs.per_originator.len() as u64;
-        let passing = obs
-            .per_originator
-            .values()
-            .filter(|o| o.querier_count() >= config.min_queriers)
-            .count() as u64;
-        let kept = selected.len() as u64;
-        bs_trace::ledger::record(
-            "sensor.select",
-            total,
-            &[
-                ("selected", kept),
-                ("below_threshold", total - passing),
-                ("truncated", passing - kept),
-            ],
-        );
-    }
-    let out: Vec<OriginatorFeatures> = bs_par::par_map(&selected, |_, &o| {
-        let static_counts = {
-            let _cost = bs_prof::stage("sensor.static.lanes", bs_trace::ledger::current_window());
-            let mut counts = [0usize; 14];
-            for q in &o.queriers {
-                let f = classify_querier_name(&info.querier_name(*q));
-                counts[f.index()] += 1;
-            }
-            counts
-        };
+    bs_par::par_map(&selected, |_, &o| {
+        let mut static_counts = [0usize; 14];
+        for q in &o.queriers {
+            let f = classify_querier_name(&info.querier_name(*q));
+            static_counts[f.index()] += 1;
+        }
         let nq = o.querier_count().max(1) as f64;
         let mut static_fractions = [0.0; 14];
         for (frac, count) in static_fractions.iter_mut().zip(static_counts) {
@@ -149,9 +246,7 @@ pub fn extract_from_observations(
             query_count: o.query_count(),
             features: FeatureVector { static_fractions, dynamic },
         }
-    });
-    bs_telemetry::counter_add("sensor.features_extracted", out.len() as u64);
-    out
+    })
 }
 
 #[cfg(test)]
@@ -190,6 +285,22 @@ mod tests {
             });
         }
         log
+    }
+
+    #[test]
+    fn fast_path_matches_reference_bit_for_bit() {
+        let log = make_log(40);
+        let obs = Observations::ingest(&log, SimTime(0), SimTime(7200));
+        let config = FeatureConfig { min_queriers: 5, top_n: None };
+        let fast = extract_from_observations(&obs, &ToyInfo, &config);
+        let reference = extract_from_observations_reference(&obs, &ToyInfo, &config);
+        assert_eq!(fast, reference);
+        let mut cache = crate::qmeta::QuerierMetaCache::default();
+        let cold = extract_with_meta_cache(&obs, &ToyInfo, &config, Some(&mut cache));
+        let warm = extract_with_meta_cache(&obs, &ToyInfo, &config, Some(&mut cache));
+        assert_eq!(cold, reference);
+        assert_eq!(warm, reference);
+        assert!(cache.hits() > 0, "second window over the same queriers must hit the cache");
     }
 
     #[test]

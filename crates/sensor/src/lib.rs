@@ -22,7 +22,14 @@
 //!
 //! The sensor reads querier metadata (reverse name, AS, country) through
 //! the [`QuerierInfo`] trait, so it works identically against the
-//! simulated world and any other provider. The keyword matcher is an
+//! simulated world and any other provider. Extraction consults it
+//! through the [`qmeta`] metadata plane — each unique querier resolved
+//! once per window (or reused across windows via
+//! [`qmeta::QuerierMetaCache`]), with AS/country interned into dense
+//! ids — so providers must answer deterministically for a given
+//! address within a window; the retained per-pair path
+//! ([`extract::extract_from_observations_reference`]) defines the
+//! semantics. The keyword matcher is an
 //! independent implementation of the paper's tables — deliberately
 //! *not* shared with the name generator in `bs-netsim`, so matching
 //! here is a real test of the generator's realism rather than a
@@ -46,15 +53,18 @@
 pub mod dynamic;
 pub mod extract;
 pub mod ingest;
+pub mod qmeta;
 pub mod shard;
 pub mod static_features;
 pub mod stream;
 
 pub use dynamic::DynamicFeatures;
 pub use extract::{
-    extract_features, extract_from_observations, FeatureConfig, FeatureVector, OriginatorFeatures,
+    extract_features, extract_from_observations, extract_from_observations_reference,
+    extract_with_meta_cache, FeatureConfig, FeatureVector, OriginatorFeatures,
 };
 pub use ingest::{select_analyzable, Observations, OriginatorObservation};
+pub use qmeta::{QuerierMetaCache, QuerierMetaTable};
 pub use shard::{ReferenceShardedStreamingSensor, ShardedStreamingSensor, SHARD_SLICES};
 pub use static_features::{classify_querier_name, StaticFeature};
 pub use stream::{ReferenceStreamingSensor, StreamConfig, StreamingSensor, WindowSummary};

@@ -1,0 +1,520 @@
+//! The querier metadata plane: resolve each *unique* querier once per
+//! window, then let extraction work over small interned ids.
+//!
+//! The paper's central observation is that backscatter queriers are
+//! shared infrastructure — recursive resolvers, crawlers — that recur
+//! across many originators and across weekly windows. The reference
+//! extraction path ignores that: it re-resolves the reverse name,
+//! keyword category, AS and country per **(originator, querier)**
+//! pair, making feature extraction O(Σ footprints) when the real
+//! resolution work is O(unique queriers).
+//!
+//! This module fixes the asymmetry in two layers:
+//!
+//! * [`QuerierMetaTable`] — a per-window resolution pass over
+//!   `Observations::all_queriers` that visits each unique querier
+//!   exactly once (chunked across the `bs-par` pool) and memoizes
+//!   `(static category, AS, country)` into a dense table keyed by the
+//!   packed-u32 address via [`bs_fastmap::FastMap`]. AS numbers and
+//!   country codes are *interned* into dense id spaces `0..n` in
+//!   ascending-querier order (deterministic regardless of thread
+//!   count), so window totals fall out of the interner sizes and the
+//!   per-originator distinct-AS/country unions become
+//!   [`bs_fastmap::DenseIdSet`] bitmap counts instead of
+//!   `BTreeSet<AsId>` insertions per querier per originator.
+//! * [`QuerierMetaCache`] — an optional cross-window memo of
+//!   *resolved* (not interned — ids are per-window) metadata with
+//!   generation-based invalidation, so the live streaming path reuses
+//!   resolutions for queriers that persist between windows while
+//!   still re-resolving entries older than `keep_windows` generations
+//!   (blacklist-style metadata churns slowly but does churn). Hit /
+//!   miss / expiry / eviction counts flush to `sensor.qmeta.*`
+//!   telemetry, so live scrapes and the watchdog see cache health.
+//!
+//! Dense ids are `u32`, not `u16`: the id space is bounded by the
+//! number of distinct values actually observed, which at a busy
+//! authority can exceed 65 535 ASes per window. [`NO_ID`] marks a
+//! querier with no AS (or country) mapping.
+
+use crate::ingest::Observations;
+use crate::static_features::classify_querier_name;
+use crate::QuerierInfo;
+use bs_fastmap::FastMap;
+use bs_netsim::types::{AsId, CountryCode};
+use std::net::Ipv4Addr;
+
+/// Sentinel dense id for "no AS / no country known for this querier".
+pub const NO_ID: u32 = u32::MAX;
+
+/// Queriers per parallel resolution task. Resolution consults external
+/// metadata (reverse name synthesis, whois/geo lookups), so tasks are
+/// coarse enough to amortize pool dispatch but fine enough to spread a
+/// storm's querier population across cores.
+const RESOLVE_CHUNK: usize = 1024;
+
+/// One querier's metadata after per-window interning: the static
+/// keyword category (dense index into [`crate::StaticFeature::ALL`])
+/// and dense AS/country ids ([`NO_ID`] when unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerierMeta {
+    /// `StaticFeature::index()` of the classified reverse name.
+    pub category: u8,
+    /// Dense per-window AS id, or [`NO_ID`].
+    pub as_id: u32,
+    /// Dense per-window country id, or [`NO_ID`].
+    pub country_id: u32,
+}
+
+/// One querier's *resolved* metadata before interning — what the
+/// cross-window [`QuerierMetaCache`] stores (dense ids cannot be
+/// cached: the id spaces restart every window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawQuerierMeta {
+    /// `StaticFeature::index()` of the classified reverse name.
+    pub category: u8,
+    /// The querier's AS, if known.
+    pub asn: Option<AsId>,
+    /// The querier's country, if known.
+    pub country: Option<CountryCode>,
+}
+
+/// Resolve one querier against the metadata provider: reverse name →
+/// keyword category, plus AS and country. This is the expensive call
+/// the metadata plane guarantees to make at most once per unique
+/// querier per window (and, with a warm cache, once per
+/// `keep_windows` generations).
+pub fn resolve_querier(info: &impl QuerierInfo, addr: Ipv4Addr) -> RawQuerierMeta {
+    RawQuerierMeta {
+        category: classify_querier_name(&info.querier_name(addr)).index() as u8,
+        asn: info.querier_as(addr),
+        country: info.querier_country(addr),
+    }
+}
+
+/// Resolve a slice of queriers in [`RESOLVE_CHUNK`]-sized tasks on the
+/// `bs-par` pool. Output order matches input order (`par_chunks` is
+/// order-preserving), so downstream interning is deterministic.
+fn resolve_chunked(addrs: &[Ipv4Addr], info: &(impl QuerierInfo + Sync)) -> Vec<RawQuerierMeta> {
+    bs_par::par_chunks(addrs, RESOLVE_CHUNK, |_, chunk| {
+        // One profiler ledger slot per chunk, not per originator (let
+        // alone per querier): the static keyword matcher now runs
+        // exactly here, once per unique querier.
+        let _cost = bs_prof::stage("sensor.static.lanes", bs_trace::ledger::current_window());
+        chunk.iter().map(|a| resolve_querier(info, *a)).collect::<Vec<_>>()
+    })
+    .concat()
+}
+
+/// The per-window metadata table: every unique querier of the window,
+/// resolved once and interned into dense id spaces.
+#[derive(Debug, Clone)]
+pub struct QuerierMetaTable {
+    /// Packed querier address → index into `meta`.
+    index: FastMap<u32, u32>,
+    /// Interned metadata, in ascending querier-address order.
+    meta: Vec<QuerierMeta>,
+    /// Size of the interned AS id space (== the window's total
+    /// distinct ASes, as `Observations::total_ases` computes it).
+    n_ases: usize,
+    /// Size of the interned country id space.
+    n_countries: usize,
+}
+
+impl QuerierMetaTable {
+    /// Build the table for one window. With `cache`, previously
+    /// resolved queriers skip the metadata provider entirely; only
+    /// misses (and entries stale past the cache's `keep_windows`) hit
+    /// `info`, in parallel chunks.
+    ///
+    /// Interning runs sequentially over the ascending
+    /// `all_queriers` order, so dense ids — and everything computed
+    /// from them — are independent of thread count and cache state.
+    pub fn build(
+        obs: &Observations,
+        info: &(impl QuerierInfo + Sync),
+        cache: Option<&mut QuerierMetaCache>,
+    ) -> Self {
+        let addrs: Vec<Ipv4Addr> = obs.all_queriers.iter().copied().collect();
+        let (raw, resolved, reused) = match cache {
+            None => {
+                let n = addrs.len() as u64;
+                (resolve_chunked(&addrs, info), n, 0)
+            }
+            Some(cache) => {
+                cache.begin_window();
+                let mut raw: Vec<Option<RawQuerierMeta>> =
+                    addrs.iter().map(|a| cache.get(u32::from(*a))).collect();
+                let missing: Vec<Ipv4Addr> =
+                    addrs.iter().zip(&raw).filter(|(_, r)| r.is_none()).map(|(a, _)| *a).collect();
+                let resolved = resolve_chunked(&missing, info);
+                let n_resolved = resolved.len() as u64;
+                let mut fresh = resolved.into_iter();
+                for (a, slot) in addrs.iter().zip(raw.iter_mut()) {
+                    if slot.is_none() {
+                        let m = fresh.next().expect("one resolution per miss");
+                        cache.insert(u32::from(*a), m);
+                        *slot = Some(m);
+                    }
+                }
+                cache.publish_telemetry();
+                let raw = raw.into_iter().map(|r| r.expect("every slot filled")).collect();
+                (raw, n_resolved, addrs.len() as u64 - n_resolved)
+            }
+        };
+        if bs_trace::is_active() {
+            // Conservation over the resolution pass: every unique
+            // querier either reused a cached resolution or cost one
+            // metadata lookup.
+            bs_trace::ledger::record(
+                "sensor.extract.lookup",
+                addrs.len() as u64,
+                &[("resolved", resolved), ("cache_reused", reused)],
+            );
+        }
+
+        let mut as_ids: FastMap<u32, u32> = FastMap::new();
+        let mut country_ids: FastMap<u32, u32> = FastMap::new();
+        let mut index: FastMap<u32, u32> = FastMap::with_capacity(addrs.len());
+        let mut meta = Vec::with_capacity(addrs.len());
+        for (i, (a, r)) in addrs.iter().zip(&raw).enumerate() {
+            let as_id = match r.asn {
+                Some(AsId(n)) => {
+                    let next = as_ids.len() as u32;
+                    *as_ids.get_or_insert_with(n, || next).0
+                }
+                None => NO_ID,
+            };
+            let country_id = match r.country {
+                Some(CountryCode(b)) => {
+                    let next = country_ids.len() as u32;
+                    *country_ids.get_or_insert_with(u16::from_be_bytes(b) as u32, || next).0
+                }
+                None => NO_ID,
+            };
+            index.insert(u32::from(*a), i as u32);
+            meta.push(QuerierMeta { category: r.category, as_id, country_id });
+        }
+        QuerierMetaTable { index, meta, n_ases: as_ids.len(), n_countries: country_ids.len() }
+    }
+
+    /// The interned metadata for `addr`, if it was a querier of this
+    /// window.
+    #[inline]
+    pub fn get(&self, addr: Ipv4Addr) -> Option<QuerierMeta> {
+        self.index.get(&u32::from(addr)).map(|&i| self.meta[i as usize])
+    }
+
+    /// Unique queriers in the table.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Distinct ASes across the window — equals
+    /// [`Observations::total_ases`] by construction (the interner
+    /// admits exactly the distinct `Some(AsId)` values).
+    pub fn distinct_ases(&self) -> usize {
+        self.n_ases
+    }
+
+    /// Distinct countries across the window — equals
+    /// [`Observations::total_countries`].
+    pub fn distinct_countries(&self) -> usize {
+        self.n_countries
+    }
+}
+
+/// Cross-window memo of resolved querier metadata with
+/// generation-based invalidation.
+///
+/// Each [`QuerierMetaTable::build`] with a cache opens a new
+/// *generation*. A cached entry is served while it is at most
+/// `keep_windows` generations old; older entries count as expired and
+/// re-resolve (metadata churns — slowly — so resolutions must not
+/// live forever). When the cache exceeds `max_entries` at a window
+/// boundary, stale entries are swept out; the cap is soft — entries
+/// touched within the keep horizon are never dropped, so one window's
+/// unique queriers always fit.
+#[derive(Debug)]
+pub struct QuerierMetaCache {
+    entries: FastMap<u32, CacheEntry>,
+    generation: u32,
+    keep_windows: u32,
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+    expired: u64,
+    evicted: u64,
+    /// Counter values already pushed to telemetry (hits, misses,
+    /// expired, evicted), so each publish adds only the delta.
+    published: [u64; 4],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    meta: RawQuerierMeta,
+    last_used: u32,
+}
+
+impl Default for QuerierMetaCache {
+    /// Defaults sized for the live stream: up to ~1M resolutions kept
+    /// for 8 windows.
+    fn default() -> Self {
+        QuerierMetaCache::new(1 << 20, 8)
+    }
+}
+
+impl QuerierMetaCache {
+    /// A cache holding up to `max_entries` resolutions (soft cap,
+    /// enforced at window boundaries), each valid for `keep_windows`
+    /// generations since last use.
+    pub fn new(max_entries: usize, keep_windows: u32) -> Self {
+        QuerierMetaCache {
+            entries: FastMap::new(),
+            generation: 0,
+            keep_windows,
+            max_entries,
+            hits: 0,
+            misses: 0,
+            expired: 0,
+            evicted: 0,
+            published: [0; 4],
+        }
+    }
+
+    /// Open a new generation; sweeps stale entries when over the cap.
+    pub fn begin_window(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.entries.len() > self.max_entries {
+            let gen = self.generation;
+            let keep = self.keep_windows;
+            let live: Vec<(u32, CacheEntry)> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| gen.wrapping_sub(e.last_used) <= keep)
+                .map(|(k, e)| (k, *e))
+                .collect();
+            self.evicted += (self.entries.len() - live.len()) as u64;
+            let mut swept = FastMap::with_capacity(live.len());
+            for (k, e) in live {
+                swept.insert(k, e);
+            }
+            self.entries = swept;
+        }
+    }
+
+    /// Look up a cached resolution for the packed querier address.
+    /// Fresh entries are hits (and have their age reset); stale
+    /// entries count as expired misses and must be re-resolved via
+    /// [`QuerierMetaCache::insert`].
+    pub fn get(&mut self, addr: u32) -> Option<RawQuerierMeta> {
+        let gen = self.generation;
+        let keep = self.keep_windows;
+        match self.entries.get_mut(&addr) {
+            Some(e) if gen.wrapping_sub(e.last_used) <= keep => {
+                e.last_used = gen;
+                self.hits += 1;
+                Some(e.meta)
+            }
+            Some(_) => {
+                self.expired += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a fresh resolution for the packed querier address.
+    pub fn insert(&mut self, addr: u32, meta: RawQuerierMeta) {
+        self.entries.insert(addr, CacheEntry { meta, last_used: self.generation });
+    }
+
+    /// Cached resolutions currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime misses (including expirations).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime entries that aged past `keep_windows` and re-resolved.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Lifetime entries dropped by the over-cap sweep.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Flush counter deltas since the last publish into the telemetry
+    /// registry (plus the current size as a gauge), so live scrapes
+    /// and the watchdog see cache health per window.
+    pub fn publish_telemetry(&mut self) {
+        let now = [self.hits, self.misses, self.expired, self.evicted];
+        let names = [
+            "sensor.qmeta.cache_hits",
+            "sensor.qmeta.cache_misses",
+            "sensor.qmeta.cache_expired",
+            "sensor.qmeta.cache_evictions",
+        ];
+        for ((name, total), published) in names.iter().zip(now).zip(self.published) {
+            bs_telemetry::counter_add(name, total - published);
+        }
+        self.published = now;
+        bs_telemetry::gauge_set("sensor.qmeta.cache_entries", self.len() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::Observations;
+    use bs_dns::{Rcode, SimTime};
+    use bs_netsim::log::{QueryLog, QueryLogRecord};
+    use bs_netsim::types::NameOutcome;
+
+    /// Toy metadata: category from last-octet parity, AS from the
+    /// second octet (octet 9 → unknown), country from first-octet
+    /// parity (octet 13 → unknown).
+    struct ToyInfo;
+    impl QuerierInfo for ToyInfo {
+        fn querier_name(&self, addr: Ipv4Addr) -> NameOutcome {
+            if addr.octets()[3].is_multiple_of(2) {
+                NameOutcome::Name(bs_dns::DomainName::parse("mail.example.com").unwrap())
+            } else {
+                NameOutcome::NxDomain
+            }
+        }
+        fn querier_as(&self, addr: Ipv4Addr) -> Option<AsId> {
+            let o = addr.octets()[1];
+            (o != 9).then_some(AsId(o as u32))
+        }
+        fn querier_country(&self, addr: Ipv4Addr) -> Option<CountryCode> {
+            match addr.octets()[0] {
+                13 => None,
+                n if n.is_multiple_of(2) => Some(CountryCode::new("us").unwrap()),
+                _ => Some(CountryCode::new("jp").unwrap()),
+            }
+        }
+    }
+
+    fn observations(queriers: &[[u8; 4]]) -> Observations {
+        let mut log = QueryLog::new();
+        for (i, q) in queriers.iter().enumerate() {
+            log.push(QueryLogRecord {
+                time: SimTime(i as u64 * 60),
+                querier: Ipv4Addr::new(q[0], q[1], q[2], q[3]),
+                originator: "203.0.113.9".parse().unwrap(),
+                rcode: Rcode::NoError,
+            });
+        }
+        Observations::ingest(&log, SimTime(0), SimTime(1_000_000))
+    }
+
+    #[test]
+    fn table_interns_matching_window_totals() {
+        let obs = observations(&[
+            [10, 1, 0, 1],
+            [10, 1, 0, 2],
+            [10, 2, 0, 3],
+            [11, 2, 0, 4],
+            [13, 9, 0, 5], // no AS, no country
+        ]);
+        let table = QuerierMetaTable::build(&obs, &ToyInfo, None);
+        assert_eq!(table.len(), 5);
+        assert_eq!(table.distinct_ases(), obs.total_ases(&ToyInfo));
+        assert_eq!(table.distinct_countries(), obs.total_countries(&ToyInfo));
+        let unknown = table.get(Ipv4Addr::new(13, 9, 0, 5)).unwrap();
+        assert_eq!(unknown.as_id, NO_ID);
+        assert_eq!(unknown.country_id, NO_ID);
+        assert!(table.get(Ipv4Addr::new(99, 99, 99, 99)).is_none());
+    }
+
+    #[test]
+    fn table_categories_match_direct_classification() {
+        let obs = observations(&[[10, 1, 0, 1], [10, 1, 0, 2]]);
+        let table = QuerierMetaTable::build(&obs, &ToyInfo, None);
+        for q in &obs.all_queriers {
+            let direct = classify_querier_name(&ToyInfo.querier_name(*q)).index() as u8;
+            assert_eq!(table.get(*q).unwrap().category, direct);
+        }
+    }
+
+    #[test]
+    fn dense_ids_are_deterministic_in_querier_order() {
+        let obs = observations(&[[10, 1, 0, 1], [10, 2, 0, 2], [11, 3, 0, 3]]);
+        let a = QuerierMetaTable::build(&obs, &ToyInfo, None);
+        let b = QuerierMetaTable::build(&obs, &ToyInfo, None);
+        for q in &obs.all_queriers {
+            assert_eq!(a.get(*q), b.get(*q));
+        }
+        // First querier in ascending order interns id 0.
+        let first = *obs.all_queriers.iter().next().unwrap();
+        assert_eq!(a.get(first).unwrap().as_id, 0);
+    }
+
+    #[test]
+    fn cache_serves_hits_within_keep_horizon() {
+        let obs = observations(&[[10, 1, 0, 1], [10, 2, 0, 2]]);
+        let mut cache = QuerierMetaCache::new(1024, 2);
+        let cold = QuerierMetaTable::build(&obs, &ToyInfo, Some(&mut cache));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        let warm = QuerierMetaTable::build(&obs, &ToyInfo, Some(&mut cache));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+        for q in &obs.all_queriers {
+            assert_eq!(cold.get(*q), warm.get(*q), "cache must not change interning");
+        }
+    }
+
+    #[test]
+    fn cache_expires_entries_past_keep_windows() {
+        let obs = observations(&[[10, 1, 0, 1]]);
+        let mut cache = QuerierMetaCache::new(1024, 0);
+        QuerierMetaTable::build(&obs, &ToyInfo, Some(&mut cache));
+        // keep_windows = 0: the next generation already re-resolves.
+        QuerierMetaTable::build(&obs, &ToyInfo, Some(&mut cache));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.expired(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cache_sweep_evicts_only_stale_entries() {
+        let mut cache = QuerierMetaCache::new(2, 1);
+        let meta = RawQuerierMeta { category: 0, asn: None, country: None };
+        cache.begin_window();
+        cache.insert(1, meta);
+        cache.insert(2, meta);
+        cache.insert(3, meta);
+        // Age entries 1 and 2 past the keep horizon; 3 stays fresh.
+        cache.begin_window();
+        assert!(cache.get(3).is_some());
+        cache.begin_window();
+        cache.begin_window(); // over cap → sweep
+        assert_eq!(cache.evicted(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+}

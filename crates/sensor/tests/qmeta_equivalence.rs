@@ -1,0 +1,217 @@
+//! Fast extraction ≡ per-pair reference: the qmeta-table path of
+//! [`extract_from_observations`] must be **bit-identical** to
+//! [`extract_from_observations_reference`] on arbitrary logs —
+//! queriers shared across many originators, out-of-order and
+//! pre-window timestamps, metadata gaps (no AS / no country), and
+//! cross-window cache reuse vs cold resolution. CI runs this file
+//! under `BS_THREADS=1` and `=8`, so the equivalences also pin
+//! thread-count independence.
+//!
+//! Stub-friendly like `tests/fastpath_equivalence.rs`: everything here
+//! runs under the offline proptest stand-in (deterministic generation,
+//! no shrinking) as well as real proptest.
+
+use bs_dns::{DomainName, Rcode, SimTime};
+use bs_netsim::log::{QueryLog, QueryLogRecord};
+use bs_netsim::types::{AsId, CountryCode, NameOutcome};
+use bs_sensor::ingest::Observations;
+use bs_sensor::qmeta::QuerierMetaCache;
+use bs_sensor::{
+    extract_from_observations, extract_from_observations_reference, extract_with_meta_cache,
+    FeatureConfig, OriginatorFeatures, QuerierInfo,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Deterministic synthetic metadata spanning every code path the
+/// plane must memoize: all three `NameOutcome` variants, a mix of
+/// keyword categories, and `None` gaps in both AS and country.
+struct SynthInfo;
+
+impl QuerierInfo for SynthInfo {
+    fn querier_name(&self, a: Ipv4Addr) -> NameOutcome {
+        let x = u32::from(a);
+        let name = |s: String| NameOutcome::Name(DomainName::parse(&s).unwrap());
+        match x % 7 {
+            0 => NameOutcome::NxDomain,
+            1 => NameOutcome::Unreachable,
+            2 => name(format!("mail{}.example.com", x % 50)),
+            3 => name(format!("ns{}.isp.net", x % 20)),
+            4 => name(format!("host-{}-{}.bigisp.net", (x >> 8) & 0xff, x & 0xff)),
+            5 => name(format!("a{}.deploy.akamai.sim", x % 97)),
+            _ => name(format!("zx{}.example.org", x % 1000)),
+        }
+    }
+    fn querier_as(&self, a: Ipv4Addr) -> Option<AsId> {
+        let x = u32::from(a);
+        (x % 11 != 0).then_some(AsId((x >> 6) % 300))
+    }
+    fn querier_country(&self, a: Ipv4Addr) -> Option<CountryCode> {
+        let x = u32::from(a);
+        (x % 13 != 0)
+            .then(|| CountryCode([b'a' + ((x >> 3) % 26) as u8, b'a' + ((x >> 9) % 26) as u8]))
+    }
+}
+
+/// Every feature bit-exact, not merely `==` (which would let a
+/// `-0.0` / `+0.0` flip slip through).
+fn bits(fs: &[OriginatorFeatures]) -> Vec<(Ipv4Addr, usize, usize, Vec<u64>)> {
+    fs.iter()
+        .map(|f| {
+            (
+                f.originator,
+                f.querier_count,
+                f.query_count,
+                f.features.to_vec().iter().map(|x| x.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn ingest(records: &[QueryLogRecord], start: u64, end: u64) -> Observations {
+    let mut log = QueryLog::new();
+    for r in records {
+        log.push(*r);
+    }
+    Observations::ingest(&log, SimTime(start), SimTime(end))
+}
+
+/// Arbitrary record streams over a small querier pool, so the same
+/// querier recurs under many originators and dedup windows overlap.
+fn arb_records() -> impl Strategy<Value = Vec<QueryLogRecord>> {
+    proptest::collection::vec(
+        (0u64..5_000, any::<u16>(), any::<u8>()).prop_map(|(t, q, o)| QueryLogRecord {
+            time: SimTime(t),
+            querier: Ipv4Addr::new(10, (q >> 8) as u8, q as u8, (q % 61) as u8),
+            originator: Ipv4Addr::new(203, 0, 113, o % 37),
+            rcode: Rcode::NoError,
+        }),
+        0..400,
+    )
+}
+
+/// High-overlap streams: a pool of just 48 queriers shared across up
+/// to 24 originators — the workload the metadata plane exists for.
+fn arb_high_overlap() -> impl Strategy<Value = Vec<QueryLogRecord>> {
+    proptest::collection::vec(
+        (0u64..5_000, 0u8..48, 0u8..24).prop_map(|(t, q, o)| QueryLogRecord {
+            time: SimTime(t),
+            querier: Ipv4Addr::new(10, 0, q / 13, q),
+            originator: Ipv4Addr::new(203, 0, 113, o),
+            rcode: Rcode::NoError,
+        }),
+        0..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cold fast path ≡ reference on arbitrary logs, across the
+    /// analyzability knobs.
+    #[test]
+    fn fast_extraction_matches_reference(
+        records in arb_records(),
+        min_queriers in 1usize..6,
+        // 0 means "no cap": the offline proptest stand-in has no
+        // `option::of`, so encode Option in the integer.
+        top_n in (0usize..10).prop_map(|n| (n > 0).then_some(n)),
+    ) {
+        let obs = ingest(&records, 0, 5_000);
+        let config = FeatureConfig { min_queriers, top_n };
+        let fast = extract_from_observations(&obs, &SynthInfo, &config);
+        let reference = extract_from_observations_reference(&obs, &SynthInfo, &config);
+        prop_assert_eq!(bits(&fast), bits(&reference));
+    }
+
+    /// The same equivalence when queriers are shared across many
+    /// originators — interned ids must count distinct metadata exactly
+    /// as the reference's per-originator BTree unions do.
+    #[test]
+    fn fast_extraction_matches_reference_on_shared_queriers(
+        records in arb_high_overlap(),
+        min_queriers in 1usize..4,
+    ) {
+        let obs = ingest(&records, 0, 5_000);
+        let config = FeatureConfig { min_queriers, top_n: None };
+        let fast = extract_from_observations(&obs, &SynthInfo, &config);
+        let reference = extract_from_observations_reference(&obs, &SynthInfo, &config);
+        prop_assert_eq!(bits(&fast), bits(&reference));
+    }
+
+    /// Pre-window timestamps (a late-but-admitted query carrying a
+    /// time before the window open, as the streaming sensor can
+    /// produce) must clamp identically on both paths — the underflow
+    /// regression, at extraction level.
+    #[test]
+    fn fast_extraction_matches_reference_with_pre_window_timestamps(
+        records in arb_records(),
+        start in 1u64..2_000,
+    ) {
+        let mut obs = ingest(&records, 0, 5_000);
+        // Reopen the window after ingest so some retained queries
+        // precede window_start.
+        obs.window_start = SimTime(start);
+        let config = FeatureConfig { min_queriers: 1, top_n: None };
+        let fast = extract_from_observations(&obs, &SynthInfo, &config);
+        let reference = extract_from_observations_reference(&obs, &SynthInfo, &config);
+        prop_assert_eq!(bits(&fast), bits(&reference));
+    }
+
+    /// A cache warmed by earlier windows must not change a later
+    /// window's output: warm extraction is bit-identical to cold and
+    /// to the reference.
+    #[test]
+    fn warm_cache_extraction_matches_cold_and_reference(
+        records in arb_high_overlap(),
+        keep_windows in 0u32..4,
+    ) {
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.time);
+        let w1: Vec<_> = sorted.iter().filter(|r| r.time.0 < 2_500).copied().collect();
+        let w2: Vec<_> = sorted.iter().filter(|r| r.time.0 >= 2_500).copied().collect();
+        let obs1 = ingest(&w1, 0, 2_500);
+        let obs2 = ingest(&w2, 2_500, 5_000);
+        let config = FeatureConfig { min_queriers: 1, top_n: None };
+
+        let mut cache = QuerierMetaCache::new(1 << 16, keep_windows);
+        let warm1 = extract_with_meta_cache(&obs1, &SynthInfo, &config, Some(&mut cache));
+        let warm2 = extract_with_meta_cache(&obs2, &SynthInfo, &config, Some(&mut cache));
+
+        let cold1 = extract_from_observations_reference(&obs1, &SynthInfo, &config);
+        let cold2 = extract_from_observations_reference(&obs2, &SynthInfo, &config);
+        prop_assert_eq!(bits(&warm1), bits(&cold1));
+        prop_assert_eq!(bits(&warm2), bits(&cold2));
+    }
+}
+
+/// Deterministic cache-behaviour pin: identical windows replayed
+/// through one cache hit on every querier after the first window, and
+/// the warm outputs stay bit-identical to the cold reference.
+#[test]
+fn replayed_windows_hit_the_cache_and_stay_identical() {
+    let records: Vec<QueryLogRecord> = (0..200u32)
+        .map(|i| QueryLogRecord {
+            time: SimTime((i as u64 * 20) % 2_400),
+            querier: Ipv4Addr::new(10, 0, (i % 40 / 13) as u8, (i % 40) as u8),
+            originator: Ipv4Addr::new(203, 0, 113, (i % 6) as u8),
+            rcode: Rcode::NoError,
+        })
+        .collect();
+    let obs = ingest(&records, 0, 2_500);
+    let config = FeatureConfig { min_queriers: 1, top_n: None };
+    let reference = extract_from_observations_reference(&obs, &SynthInfo, &config);
+
+    let mut cache = QuerierMetaCache::default();
+    let first = extract_with_meta_cache(&obs, &SynthInfo, &config, Some(&mut cache));
+    assert_eq!(cache.hits(), 0, "cold cache serves nothing");
+    let unique = obs.all_queriers.len() as u64;
+    assert_eq!(cache.misses(), unique, "one resolution per unique querier");
+
+    let second = extract_with_meta_cache(&obs, &SynthInfo, &config, Some(&mut cache));
+    assert_eq!(cache.hits(), unique, "replay must hit on every querier");
+    assert_eq!(cache.misses(), unique, "replay must not re-resolve anything");
+
+    assert_eq!(bits(&first), bits(&reference));
+    assert_eq!(bits(&second), bits(&reference));
+}

@@ -74,6 +74,12 @@ BS_THREADS=1 cargo test -q -p bs-sensor --test shard_equivalence
 echo "=== shard equivalence (parallel: BS_THREADS=8)"
 BS_THREADS=8 cargo test -q -p bs-sensor --test shard_equivalence
 
+echo "=== qmeta extraction equivalence (sequential: BS_THREADS=1)"
+BS_THREADS=1 cargo test -q -p bs-sensor --test qmeta_equivalence
+
+echo "=== qmeta extraction equivalence (parallel: BS_THREADS=8)"
+BS_THREADS=8 cargo test -q -p bs-sensor --test qmeta_equivalence
+
 echo "=== cargo test (sequential: BS_THREADS=1)"
 BS_THREADS=1 cargo test -q
 
@@ -85,6 +91,9 @@ cargo bench -q -p bench --bench ingest -- --test >/dev/null
 
 echo "=== ml bench smoke (columnar vs reference, one pass per body)"
 cargo bench -q -p bench --bench ml -- --test >/dev/null
+
+echo "=== extract bench smoke (qmeta plane vs reference, one pass per body)"
+cargo bench -q -p bench --bench extract -- --test >/dev/null
 
 echo "=== CLI smoke: --trace writes parseable Chrome trace JSON"
 trace_tmp="$(mktemp -d)"
@@ -104,6 +113,21 @@ echo "=== CLI smoke: classify end-to-end through the lane-blocked predict path"
 classify_out="$(target/release/backscatter classify --log "$trace_tmp/jp.tsv" \
     --dataset JP-ditl --scale smoke --seed 5)"
 grep -q "originator" <<<"$classify_out"
+
+echo "=== CLI smoke: features runs through the qmeta metadata plane"
+# `backscatter features` now extracts via the interned querier-metadata
+# table; the dynamic columns prove the full fast path ran end-to-end.
+features_out="$(target/release/backscatter features --log "$trace_tmp/jp.tsv")"
+grep -q "dyn:queries-per-querier" <<<"$features_out"
+
+echo "=== CLI smoke: stream --extract reuses the cross-window qmeta cache"
+# Per-window extraction inside the streaming driver, sharing one
+# QuerierMetaCache across windows; the summary line reports its
+# hit/miss telemetry.
+extract_out="$(target/release/backscatter stream --log "$trace_tmp/jp.tsv" \
+    --window 600 --extract 1)"
+grep -q "analyzable" <<<"$extract_out"
+grep -q "qmeta cache:" <<<"$extract_out"
 
 echo "=== CLI smoke: sharded stream --serve answers a live scrape"
 target/release/backscatter stream --log "$trace_tmp/jp.tsv" --window 600 \

@@ -294,6 +294,13 @@ fn cmd_stream(
         None => 0, // auto-size from the bs-par pool (BS_THREADS / cores)
         Some(s) => s.parse().map_err(|_| format!("bad --shards {s:?} (lanes, 0 = auto)"))?,
     };
+    // --extract N: run per-window feature extraction (analyzability
+    // threshold N unique queriers) through the cross-window querier
+    // metadata cache — the online-serving posture.
+    let extract: Option<usize> = flags
+        .get("extract")
+        .map(|s| s.parse().map_err(|_| format!("bad --extract {s:?} (min unique queriers)")))
+        .transpose()?;
     let config = StreamConfig {
         window: SimDuration::from_secs(window_secs.max(1)),
         max_originators,
@@ -307,22 +314,57 @@ fn cmd_stream(
     if resolved_shards > 1 {
         println!("stream: sharding ingest across {resolved_shards} lanes");
     }
-    let stats = dns_backscatter::stream::run_live_stream(
-        log.records(),
-        config,
-        shards,
-        live,
-        pace_rps,
-        |w| {
-            println!(
-                "window [{}s, {}s): {} originators, {} evicted",
-                w.window.0.secs(),
-                w.window.1.secs(),
-                w.observations.per_originator.len(),
-                w.evicted,
+    let stats = match extract {
+        None => dns_backscatter::stream::run_live_stream(
+            log.records(),
+            config,
+            shards,
+            live,
+            pace_rps,
+            |w| {
+                println!(
+                    "window [{}s, {}s): {} originators, {} evicted",
+                    w.window.0.secs(),
+                    w.window.1.secs(),
+                    w.observations.per_originator.len(),
+                    w.evicted,
+                );
+            },
+        ),
+        Some(min_queriers) => {
+            let world = World::new(WorldConfig::default());
+            let feature_config = FeatureConfig { min_queriers, top_n: None };
+            let mut cache = dns_backscatter::sensor::QuerierMetaCache::default();
+            let stats = dns_backscatter::stream::run_live_stream_extracting(
+                log.records(),
+                config,
+                shards,
+                live,
+                pace_rps,
+                &world,
+                &feature_config,
+                &mut cache,
+                |w, features| {
+                    println!(
+                        "window [{}s, {}s): {} originators, {} evicted, {} analyzable",
+                        w.window.0.secs(),
+                        w.window.1.secs(),
+                        w.observations.per_originator.len(),
+                        w.evicted,
+                        features.len(),
+                    );
+                },
             );
-        },
-    );
+            println!(
+                "qmeta cache: {} hits, {} misses ({} expired), {} entries held",
+                cache.hits(),
+                cache.misses(),
+                cache.expired(),
+                cache.len(),
+            );
+            stats
+        }
+    };
     println!(
         "stream: {} records in {} windows, {} evicted",
         stats.records, stats.windows, stats.evicted
@@ -495,6 +537,11 @@ metric naming: dotted crate.stage names, e.g.
                              counters (sensor.stream.* stays the rollup)
   sensor.shard.load.*        gauges: max/mean per-shard records last window
   sensor.shard.skew_milli    gauge: 1000 × max/mean shard load (1000 = even)
+  sensor.qmeta.cache_hits/.cache_misses   querier-metadata cache probes
+                             served from / missing the cross-window cache
+  sensor.qmeta.cache_expired souring entries re-resolved past the keep
+                             horizon; .cache_evictions: swept over-cap
+  sensor.qmeta.cache_entries gauge: resolutions currently cached
   par.shard_backlog          gauge: records queued at the last shard
                              drain barrier (watchdog rules on runaway)
   bench.ingest.*             perf_snapshot ingest throughput gauges
@@ -504,9 +551,13 @@ metric naming: dotted crate.stage names, e.g.
   bench.ml.*                 perf_snapshot ML gauges: forest/SVM fit rps
                              (fast vs reference) and forest predict rps
                              (lane-blocked vs row batch vs per-row)
-  bench.sensor.*             perf_snapshot static-feature classification
-                             rps (packed matcher vs byte-at-a-time
-                             reference)
+  bench.sensor.*             perf_snapshot sensor gauges: static-feature
+                             classification rps (packed matcher vs
+                             byte-at-a-time reference) and extraction
+                             pairs/sec (bench.sensor.extract_fast_rps /
+                             extract_reference_rps / extract_warm_cache_rps
+                             — qmeta plane, cold and warm cache, vs the
+                             per-pair reference)
   ml.trees_built, ml.fits    learner effort
   classify.models_trained    windows with a trainable label set
   core.curate/.retrain/.classify   per-stage latency histograms (ns)
@@ -594,12 +645,15 @@ commands:
   capture   --log <log.tsv> --out <file.bscap>   convert TSV → packet capture
   capture   --capture <file.bscap> --out <log.tsv>   and back
   stream    --log <log.tsv> [--window S] [--max-originators N]
-            [--shards N] [--pace RPS] [--linger S]
+            [--shards N] [--pace RPS] [--linger S] [--extract M]
             replay a log through the streaming sensor as a live
             process; --shards fans ingest across N hash-sharded lanes
             (0 = auto from BS_THREADS/cores, output identical at any
             count), --pace throttles to records/sec, --linger keeps
-            the process (and any --serve endpoint) up after ingest
+            the process (and any --serve endpoint) up after ingest,
+            --extract M additionally extracts features per window
+            (analyzability threshold M unique queriers) through the
+            cross-window querier metadata cache
   stats     [--format help|json|prometheus]
             describe the telemetry metrics, or dump a snapshot
   stats     --watch <ip:port> [--iterations N] [--interval-ms M]
